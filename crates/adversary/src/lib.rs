@@ -1,0 +1,36 @@
+//! The mobile Byzantine adversary (paper Section 2.2, Definition 2).
+//!
+//! The adversary can see all communication, break into processors, learn
+//! and *modify* their internal state (including the clock-adjustment
+//! variable `adj_p`), send messages on their behalf, and later leave them —
+//! all **without any detection signal** to the correct processors. Its only
+//! limitation is Definition 2: it is *`f`-limited with respect to Δ* — in
+//! every real-time window `[τ, τ+Δ]` it controls at most `f` distinct
+//! processors. In particular an `f`-limited adversary that controls `f`
+//! processors must leave one at least Δ before breaking into a new one.
+//!
+//! This crate provides:
+//!
+//! * [`schedule`] — corruption timelines, an exact verifier of the
+//!   Definition 2 constraint, and generators (rotating churn, random churn)
+//!   that are f-limited **by construction** and re-verified in tests.
+//! * [`strategy`] — Byzantine behaviors for controlled processors, from
+//!   silent crashes to an omniscient colluder that adapts its lies to each
+//!   requester using global knowledge of all clock biases.
+//! * [`adversary`] — the [`adversary::Adversary`] façade the
+//!   runtime drives: a timeline of corrupt/release actions, per-corruption
+//!   clock sabotage, and per-ping reply decisions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod schedule;
+pub mod strategy;
+
+pub use adversary::{Adversary, AdversaryAction, ClockSabotage};
+pub use schedule::{CorruptionInterval, CorruptionSchedule, ScheduleError};
+pub use strategy::{
+    AttackContext, AttackReply, ByzantineStrategy, ColluderStrategy, ConstantOffsetStrategy,
+    CrashStrategy, FloodStrategy, RandomReplyStrategy, SplitBrainStrategy, StealthStrategy,
+};

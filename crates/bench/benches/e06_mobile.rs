@@ -1,0 +1,10 @@
+//! Regenerates experiment E6 (see DESIGN.md §3) in full mode.
+//!
+//! Not a timing benchmark: this target exists so `cargo bench` rebuilds
+//! every table/figure of the reproduction. Output is also persisted to
+//! `target/experiment-reports/E6.txt`.
+
+fn main() {
+    let report = byzclock_bench::run_and_print("E6");
+    assert!(report.pass, "E6 failed to reproduce its claim");
+}

@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks of the hot paths: convergence-function
+//! evaluation, the sans-IO node, the event queue, the network send path,
+//! and whole-world event throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use byzclock_clock::LocalTime;
+use byzclock_core::{
+    ConvergenceFn, Input, OffsetSample, PaperSync, PeerEstimate, ProtocolParams, SyncNode,
+    TrimmedMean, WireMessage,
+};
+use byzclock_net::{ConstantDelay, Network, Topology};
+use byzclock_runtime::WorldBuilder;
+use byzclock_sim::{EventQueue, ProcId, RealTime, RngHub, SimDuration};
+
+fn estimates(n: usize) -> Vec<PeerEstimate> {
+    (0..n)
+        .map(|i| PeerEstimate {
+            peer: ProcId(i as u32),
+            sample: OffsetSample {
+                offset: (i as f64) * 1e-3 - 5e-3,
+                error: 1e-3,
+            },
+        })
+        .collect()
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence");
+    for n in [4usize, 16, 64, 256] {
+        let est = estimates(n);
+        let f = (n - 1) / 3;
+        group.bench_with_input(BenchmarkId::new("paper-sync", n), &est, |b, est| {
+            b.iter(|| PaperSync.adjustment(black_box(f), 1.0, black_box(est)))
+        });
+        group.bench_with_input(BenchmarkId::new("trimmed-mean", n), &est, |b, est| {
+            b.iter(|| TrimmedMean.adjustment(black_box(f), 1.0, black_box(est)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_node(c: &mut Criterion) {
+    let params = ProtocolParams::builder(16, 5)
+        .sync_int(SimDuration::from_secs(10.0))
+        .max_wait(SimDuration::from_secs(1.0))
+        .way_off(1.0)
+        .build()
+        .unwrap();
+    c.bench_function("node/ping-response", |b| {
+        let mut node = SyncNode::new(ProcId(0), params);
+        let input = Input::Message {
+            from: ProcId(1),
+            msg: WireMessage::Ping { round: 1, nonce: 2 },
+            local_now: LocalTime::from_secs(5.0),
+        };
+        b.iter(|| node.handle(black_box(input)))
+    });
+    c.bench_function("node/full-round-16", |b| {
+        b.iter(|| {
+            let mut node = SyncNode::new(ProcId(0), params);
+            let out = node.handle(Input::Start {
+                local_now: LocalTime::ZERO,
+            });
+            let (round, nonce) = out
+                .iter()
+                .find_map(|o| match o {
+                    byzclock_core::Output::Send {
+                        msg: WireMessage::Ping { round, nonce },
+                        ..
+                    } => Some((*round, *nonce)),
+                    _ => None,
+                })
+                .unwrap();
+            for q in 1..16u32 {
+                node.handle(Input::Message {
+                    from: ProcId(q),
+                    msg: WireMessage::Pong {
+                        round,
+                        nonce,
+                        clock: LocalTime::from_secs(0.001),
+                    },
+                    local_now: LocalTime::from_secs(0.002),
+                });
+            }
+            black_box(node.rounds_completed())
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("queue/schedule-pop-1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(RealTime::from_secs(((i * 7919) % 997) as f64), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_network(c: &mut Criterion) {
+    c.bench_function("network/send", |b| {
+        let mut net = Network::new(
+            Topology::full_mesh(16),
+            Box::new(ConstantDelay::new(SimDuration::from_millis(1.0))),
+            SimDuration::from_millis(10.0),
+        );
+        let mut rng = RngHub::new(1).stream("bench", 0);
+        b.iter(|| net.send(ProcId(0), ProcId(1), RealTime::ZERO, &mut rng))
+    });
+}
+
+fn bench_world(c: &mut Criterion) {
+    c.bench_function("world/60s-n7", |b| {
+        b.iter(|| {
+            let mut world = WorldBuilder::new(7, 2)
+                .seed(1)
+                .big_delta(SimDuration::from_secs(40.0))
+                .build()
+                .unwrap();
+            world.run_until(RealTime::from_secs(60.0));
+            black_box(world.events_processed())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_convergence,
+    bench_node,
+    bench_event_queue,
+    bench_network,
+    bench_world
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Shared plumbing for the byzclock benchmark targets.
+//!
+//! Each `benches/eNN_*.rs` target regenerates one of the paper-claim
+//! experiments (DESIGN.md §3) in **full** mode and prints its tables and
+//! series; `benches/micro.rs` holds the criterion micro-benchmarks of the
+//! hot paths. Run everything with `cargo bench`.
+
+use byzclock_harness::experiments::{registry, ExperimentReport, Mode};
+
+/// Runs the experiment with the given id in full mode and prints its
+/// report; also writes the rendered report to
+/// `target/experiment-reports/<id>.txt` for EXPERIMENTS.md regeneration.
+///
+/// # Panics
+///
+/// Panics if the id is unknown — each bench target names a registered
+/// experiment.
+pub fn run_and_print(id: &str) -> ExperimentReport {
+    let runner = registry()
+        .into_iter()
+        .find(|(rid, _)| *rid == id)
+        .unwrap_or_else(|| panic!("unknown experiment id {id}"))
+        .1;
+    let started = std::time::Instant::now();
+    let report = runner(Mode::Full);
+    let elapsed = started.elapsed();
+    let rendered = report.render();
+    println!("{rendered}");
+    println!("(wall time: {elapsed:.2?})");
+    if let Err(e) = persist(id, &rendered) {
+        eprintln!("warning: could not persist report: {e}");
+    }
+    report
+}
+
+fn persist(id: &str, rendered: &str) -> std::io::Result<()> {
+    let dir = std::path::Path::new("target").join("experiment-reports");
+    std::fs::create_dir_all(&dir)?;
+    std::fs::write(dir.join(format!("{id}.txt")), rendered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_id_panics() {
+        run_and_print("E99");
+    }
+}

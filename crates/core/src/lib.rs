@@ -1,0 +1,67 @@
+//! The paper's primary contribution: the `Sync` clock synchronization
+//! protocol of Barak, Halevi, Herzberg and Naor (PODC 2000), plus the
+//! baselines it is compared against and the analytical machinery of its
+//! proof.
+//!
+//! # Layout
+//!
+//! * [`params`] — protocol parameters (`SyncInt`, `MaxWait`, `WayOff`,
+//!   `n`, `f`) and their validity constraints.
+//! * [`bounds`] — the network model (δ, ρ, Λ, Δ) and the Theorem 5 bound
+//!   calculator (`T`, `K`, `C`, γ, ρ̃, ψ) with the parameter-derivation
+//!   recipe from the paper's Section 3.2 / Appendix A.
+//! * [`estimate`] — the ping/pong clock-estimation arithmetic of
+//!   Section 3.1 (`d = C − (R+S)/2`, `a = (R−S)/2`) and the min-round-trip
+//!   filter used by NTP-style refinement.
+//! * [`convergence`] — convergence functions: the paper's (Figure 1), and
+//!   the comparison baselines (minimal-correction à la Fetzer–Cristian,
+//!   fault-tolerant trimmed mean à la Welch–Lynch, unguarded mean, no-op).
+//! * [`node`] — the sans-IO `Sync` protocol state machine: feed it inputs
+//!   (timers, messages) stamped with local clock readings; it emits outputs
+//!   (sends, timers, clock adjustments). No IO, no simulator dependency —
+//!   fully unit-testable and embeddable.
+//! * [`analysis`] — the `(τ, β)`-plane envelopes of Definition 6 used by
+//!   the Lemma 7 / Claim 8 experiments.
+//!
+//! # Quick taste (pure state machine)
+//!
+//! ```
+//! use byzclock_core::node::{Input, Output, SyncNode};
+//! use byzclock_core::params::ProtocolParams;
+//! use byzclock_clock::LocalTime;
+//! use byzclock_sim::{ProcId, SimDuration};
+//!
+//! let params = ProtocolParams::builder(4, 1)
+//!     .sync_int(SimDuration::from_secs(10.0))
+//!     .max_wait(SimDuration::from_secs(1.0))
+//!     .way_off(5.0)
+//!     .build()
+//!     .unwrap();
+//! let mut node = SyncNode::new(ProcId(0), params);
+//! let outputs = node.handle(Input::Start { local_now: LocalTime::ZERO });
+//! // The node immediately begins a sync round: 3 pings + a round timeout.
+//! let pings = outputs.iter().filter(|o| matches!(o, Output::Send { .. })).count();
+//! assert_eq!(pings, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod bounds;
+pub mod convergence;
+pub mod estimate;
+pub mod node;
+pub mod params;
+pub mod wire;
+
+pub use analysis::{ChainViolation, Envelope, EnvelopeChain};
+pub use bounds::{BoundsError, Derived, NetworkModel, TheoremBounds};
+pub use convergence::{
+    ConvergenceFn, MedianConvergence, MinimalCorrection, NoOpConvergence, PaperSync,
+    PeerEstimate, TrimmedMean, UnguardedMean,
+};
+pub use estimate::OffsetSample;
+pub use node::{EstimationMode, Input, Output, RoundSummary, SyncNode, TimerKind};
+pub use params::{ParamError, ProtocolParams};
+pub use wire::WireMessage;

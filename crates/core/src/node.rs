@@ -1,0 +1,1092 @@
+//! The sans-IO `Sync` protocol state machine (paper Figure 1).
+//!
+//! [`SyncNode`] contains no clock, no network and no scheduler: every input
+//! is stamped with the caller-provided local clock reading, and every
+//! effect is returned as an [`Output`] for the host to execute. This is the
+//! "sans-IO" style: the protocol is a pure function of its inputs, so every
+//! line of Figure 1 is unit-testable without a simulator, and the same
+//! state machine could be embedded in a real deployment.
+//!
+//! Protocol shape (one node):
+//!
+//! * Every `SyncInt` of local time, begin a round: ping all peers, arm a
+//!   `MaxWait` timeout, record the send time `S` (the self-estimate is
+//!   `(0, 0)`).
+//! * Answer every incoming ping **immediately with the current clock** —
+//!   the paper's "no rounds" property (Section 3.3): there is no per-round
+//!   clock snapshot to maintain or recover.
+//! * On each pong, compute `(d, a)` per Section 3.1; when all peers have
+//!   answered, or on timeout (missing peers become `(0, ∞)`), apply the
+//!   convergence function and adjust the clock.
+//!
+//! Recovery is just [`Input::Start`]: it abandons any in-flight round and
+//! begins a fresh one. A recovering processor needs nothing else — exactly
+//! the small-recovery-state argument the paper makes against round-based
+//! protocols.
+
+use byzclock_clock::LocalTime;
+use byzclock_sim::{ProcId, SimDuration};
+
+use crate::convergence::{ConvergenceFn, PaperSync, PeerEstimate};
+use crate::estimate::OffsetSample;
+use crate::params::ProtocolParams;
+use crate::wire::WireMessage;
+
+/// Timers the node asks its host to arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// The periodic sync alarm (`SyncInt` after the previous round ended).
+    SyncDue,
+    /// The estimation timeout for the given round.
+    RoundTimeout {
+        /// Round this timeout belongs to; stale timeouts are ignored.
+        round: u64,
+    },
+    /// Background cache-refresh tick ([`EstimationMode::Cached`] only).
+    CacheRefresh,
+}
+
+/// How the node gathers peer clock estimates.
+///
+/// The paper's Section 3.1 closes with a warning about the second variant:
+/// spreading estimation over a background activity that hands the sync
+/// procedure *cached* values means "we cannot guarantee the conditions of
+/// Definition 4 anymore, since the separate thread may return an old
+/// cached value which was measured before the call" — so "the analysis in
+/// this paper cannot be applied right out of the box". [`EstimationMode::Cached`] is a
+/// deliberately naive implementation of that pattern (no compensation for
+/// the node's own adjustments since measurement), built so experiment E19
+/// can quantify the warning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EstimationMode {
+    /// A fresh ping/pong exchange per sync round — the analyzed protocol.
+    PerRound,
+    /// A background refresher pings all peers every `refresh` local-time
+    /// units; sync() consumes whatever the cache currently holds.
+    Cached {
+        /// Local time between cache refreshes.
+        refresh: SimDuration,
+    },
+}
+
+/// Everything that can happen to a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Input {
+    /// Start (or restart after recovery) the protocol.
+    Start {
+        /// Current local clock reading.
+        local_now: LocalTime,
+    },
+    /// A message arrived.
+    Message {
+        /// Claimed sender (authenticated links: genuine unless the sender
+        /// was corrupted).
+        from: ProcId,
+        /// The message.
+        msg: WireMessage,
+        /// Current local clock reading.
+        local_now: LocalTime,
+    },
+    /// A previously armed timer fired.
+    TimerFired {
+        /// Which timer.
+        timer: TimerKind,
+        /// Current local clock reading.
+        local_now: LocalTime,
+    },
+}
+
+/// Effects the host must carry out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Output {
+    /// Send `msg` to `to`.
+    Send {
+        /// Destination processor.
+        to: ProcId,
+        /// The message.
+        msg: WireMessage,
+    },
+    /// Arm a timer `after` local-time units from now.
+    SetTimer {
+        /// Local-time delay.
+        after: SimDuration,
+        /// Which timer.
+        kind: TimerKind,
+    },
+    /// Add `delta` to the clock adjustment variable (Figure 1 line 11/12).
+    AdjustClock {
+        /// Seconds to add to `adj`.
+        delta: SimDuration,
+    },
+    /// A sync round finished (observability hook; no action required).
+    RoundCompleted(RoundSummary),
+}
+
+/// Statistics of one completed round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundSummary {
+    /// The round number.
+    pub round: u64,
+    /// The adjustment applied, seconds.
+    pub adjustment: f64,
+    /// Peers (excluding self) whose pong arrived in time.
+    pub responders: usize,
+    /// Peers that timed out.
+    pub timeouts: usize,
+}
+
+#[derive(Debug)]
+struct ActiveRound {
+    round: u64,
+    nonce: u64,
+    sent_at: LocalTime,
+    /// Collected pong samples per peer (up to `pings_per_peer` each; the
+    /// self slot stays empty and is filled with the exact `(0, 0)` sample
+    /// at completion).
+    samples: Vec<Vec<OffsetSample>>,
+}
+
+/// One processor's `Sync` protocol instance.
+#[derive(Debug)]
+pub struct SyncNode {
+    id: ProcId,
+    params: ProtocolParams,
+    convergence: Box<dyn ConvergenceFn>,
+    round: u64,
+    active: Option<ActiveRound>,
+    rounds_completed: u64,
+    estimation: EstimationMode,
+    /// Latest cached sample per peer (Cached mode only).
+    cache: Vec<Option<OffsetSample>>,
+    /// Send time of the in-flight cache generation.
+    cache_sent_at: LocalTime,
+}
+
+impl SyncNode {
+    /// Creates a node running the paper's convergence function.
+    pub fn new(id: ProcId, params: ProtocolParams) -> Self {
+        Self::with_convergence(id, params, Box::new(PaperSync))
+    }
+
+    /// Creates a node with an explicit convergence function (baselines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for `params.n()`.
+    pub fn with_convergence(
+        id: ProcId,
+        params: ProtocolParams,
+        convergence: Box<dyn ConvergenceFn>,
+    ) -> Self {
+        assert!(id.index() < params.n(), "node id out of range");
+        let n = params.n();
+        SyncNode {
+            id,
+            params,
+            convergence,
+            round: 0,
+            active: None,
+            rounds_completed: 0,
+            estimation: EstimationMode::PerRound,
+            cache: vec![None; n],
+            cache_sent_at: LocalTime::ZERO,
+        }
+    }
+
+    /// Switches the estimation mode (before the node is started).
+    pub fn with_estimation(mut self, mode: EstimationMode) -> Self {
+        if let EstimationMode::Cached { refresh } = mode {
+            assert!(
+                refresh > SimDuration::ZERO,
+                "cache refresh interval must be positive"
+            );
+        }
+        self.estimation = mode;
+        self
+    }
+
+    /// The estimation mode in use.
+    pub fn estimation_mode(&self) -> EstimationMode {
+        self.estimation
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// The parameters the node runs with.
+    pub fn params(&self) -> &ProtocolParams {
+        &self.params
+    }
+
+    /// Name of the convergence function in use.
+    pub fn convergence_name(&self) -> &'static str {
+        self.convergence.name()
+    }
+
+    /// Current round counter.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// True iff an estimation round is in flight.
+    pub fn is_round_active(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Number of rounds completed since creation.
+    pub fn rounds_completed(&self) -> u64 {
+        self.rounds_completed
+    }
+
+    /// Feeds one input, returning the effects to execute (in order).
+    pub fn handle(&mut self, input: Input) -> Vec<Output> {
+        match input {
+            Input::Start { local_now } => {
+                // Recovery: abandon any in-flight round and start fresh.
+                self.active = None;
+                match self.estimation {
+                    EstimationMode::PerRound => self.begin_round(local_now),
+                    EstimationMode::Cached { refresh } => {
+                        self.cache = vec![None; self.params.n()];
+                        let mut out = self.refresh_cache(local_now);
+                        out.push(Output::SetTimer {
+                            after: refresh,
+                            kind: TimerKind::CacheRefresh,
+                        });
+                        out.push(Output::SetTimer {
+                            after: self.params.sync_int(),
+                            kind: TimerKind::SyncDue,
+                        });
+                        out
+                    }
+                }
+            }
+            Input::Message {
+                from,
+                msg,
+                local_now,
+            } => match msg {
+                WireMessage::Ping { round, nonce } => {
+                    if from.index() >= self.params.n() {
+                        // Authenticated links cannot carry traffic from
+                        // non-existent processors; drop defensively.
+                        return Vec::new();
+                    }
+                    // "No rounds": always answer with the live clock.
+                    vec![Output::Send {
+                        to: from,
+                        msg: WireMessage::Pong {
+                            round,
+                            nonce,
+                            clock: local_now,
+                        },
+                    }]
+                }
+                WireMessage::Pong {
+                    round,
+                    nonce,
+                    clock,
+                } => self.on_pong(from, round, nonce, clock, local_now),
+            },
+            Input::TimerFired { timer, local_now } => match timer {
+                TimerKind::CacheRefresh => {
+                    let EstimationMode::Cached { refresh } = self.estimation else {
+                        return Vec::new(); // stale timer after a mode change
+                    };
+                    let mut out = self.refresh_cache(local_now);
+                    out.push(Output::SetTimer {
+                        after: refresh,
+                        kind: TimerKind::CacheRefresh,
+                    });
+                    out
+                }
+                TimerKind::SyncDue => {
+                    if let EstimationMode::Cached { .. } = self.estimation {
+                        return self.sync_from_cache();
+                    }
+                    if self.active.is_none() {
+                        self.begin_round(local_now)
+                    } else {
+                        // A SyncDue racing an in-flight round (possible
+                        // after a host-driven restart): ignore, the round's
+                        // completion will re-arm the alarm.
+                        Vec::new()
+                    }
+                }
+                TimerKind::RoundTimeout { round } => self.on_round_timeout(round),
+            },
+        }
+    }
+
+    fn begin_round(&mut self, local_now: LocalTime) -> Vec<Output> {
+        self.round += 1;
+        let round = self.round;
+        let nonce = Self::nonce_for(self.id, round);
+        let n = self.params.n();
+        let k = self.params.pings_per_peer();
+        self.active = Some(ActiveRound {
+            round,
+            nonce,
+            sent_at: local_now,
+            samples: vec![Vec::new(); n],
+        });
+        // Section 3.1's min-RTT refinement: k pings per peer; the replies
+        // are filtered by smallest round trip at completion.
+        let mut out: Vec<Output> = Vec::with_capacity((n - 1) * k + 1);
+        for q in ProcId::all(n).filter(|q| *q != self.id) {
+            for _ in 0..k {
+                out.push(Output::Send {
+                    to: q,
+                    msg: WireMessage::Ping { round, nonce },
+                });
+            }
+        }
+        out.push(Output::SetTimer {
+            after: self.params.max_wait(),
+            kind: TimerKind::RoundTimeout { round },
+        });
+        out
+    }
+
+    fn on_pong(
+        &mut self,
+        from: ProcId,
+        round: u64,
+        nonce: u64,
+        clock: LocalTime,
+        local_now: LocalTime,
+    ) -> Vec<Output> {
+        let k = self.params.pings_per_peer();
+        let me = self.id;
+        if let EstimationMode::Cached { .. } = self.estimation {
+            // cache fill: accept only the current generation (round) and
+            // overwrite the peer's slot with the freshest sample
+            if round == self.round
+                && nonce == Self::nonce_for(me, round)
+                && from != me
+                && from.index() < self.cache.len()
+                && local_now >= self.cache_sent_at
+            {
+                self.cache[from.index()] = Some(OffsetSample::from_ping_pong(
+                    self.cache_sent_at,
+                    local_now,
+                    clock,
+                ));
+            }
+            return Vec::new();
+        }
+        let Some(active) = self.active.as_mut() else {
+            return Vec::new(); // stale pong after round completion
+        };
+        if active.round != round || active.nonce != nonce {
+            return Vec::new(); // wrong round or replay
+        }
+        if from.index() >= active.samples.len() || from == me {
+            return Vec::new(); // nonsensical sender
+        }
+        if active.samples[from.index()].len() >= k {
+            return Vec::new(); // more pongs than pings: duplicate/forged
+        }
+        if local_now < active.sent_at {
+            // The local clock cannot run backwards between S and R without
+            // an adjustment, and we never adjust mid-round; defensive skip.
+            return Vec::new();
+        }
+        active.samples[from.index()].push(OffsetSample::from_ping_pong(
+            active.sent_at,
+            local_now,
+            clock,
+        ));
+        let all_full = active
+            .samples
+            .iter()
+            .enumerate()
+            .all(|(i, s)| i == me.index() || s.len() == k);
+        if all_full {
+            self.complete_round()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_round_timeout(&mut self, round: u64) -> Vec<Output> {
+        let Some(active) = self.active.as_ref() else {
+            return Vec::new(); // stale timeout (round completed early)
+        };
+        if active.round != round {
+            return Vec::new();
+        }
+        self.complete_round()
+    }
+
+    fn complete_round(&mut self) -> Vec<Output> {
+        let active = self.active.take().expect("complete_round without round");
+        let estimates: Vec<PeerEstimate> = active
+            .samples
+            .iter()
+            .enumerate()
+            .map(|(i, samples)| PeerEstimate {
+                peer: ProcId(i as u32),
+                sample: if i == self.id.index() {
+                    // "for each q ∈ {1..n}" includes p: exact self-estimate.
+                    OffsetSample {
+                        offset: 0.0,
+                        error: 0.0,
+                    }
+                } else {
+                    // min-RTT filter; TIMEOUT if no pong arrived at all
+                    OffsetSample::best_of(samples)
+                },
+            })
+            .collect();
+        let timeouts = estimates
+            .iter()
+            .filter(|e| e.sample.is_timeout())
+            .count();
+        let responders = estimates.len() - timeouts - 1; // minus self
+        let delta = self
+            .convergence
+            .adjustment(self.params.f(), self.params.way_off(), &estimates);
+        self.rounds_completed += 1;
+        vec![
+            Output::AdjustClock {
+                delta: SimDuration::from_secs(delta),
+            },
+            Output::RoundCompleted(RoundSummary {
+                round: active.round,
+                adjustment: delta,
+                responders,
+                timeouts,
+            }),
+            Output::SetTimer {
+                after: self.params.sync_int(),
+                kind: TimerKind::SyncDue,
+            },
+        ]
+    }
+
+    /// Sends one cache-refresh ping volley (Cached mode).
+    fn refresh_cache(&mut self, local_now: LocalTime) -> Vec<Output> {
+        self.round += 1;
+        self.cache_sent_at = local_now;
+        let nonce = Self::nonce_for(self.id, self.round);
+        ProcId::all(self.params.n())
+            .filter(|q| *q != self.id)
+            .map(|q| Output::Send {
+                to: q,
+                msg: WireMessage::Ping {
+                    round: self.round,
+                    nonce,
+                },
+            })
+            .collect()
+    }
+
+    /// Runs the convergence function over the *cached* estimates — the
+    /// naive separate-thread pattern the paper warns about: samples may
+    /// predate the node's own latest adjustments.
+    fn sync_from_cache(&mut self) -> Vec<Output> {
+        let estimates: Vec<PeerEstimate> = (0..self.params.n())
+            .map(|i| PeerEstimate {
+                peer: ProcId(i as u32),
+                sample: if i == self.id.index() {
+                    OffsetSample {
+                        offset: 0.0,
+                        error: 0.0,
+                    }
+                } else {
+                    self.cache[i].unwrap_or(OffsetSample::TIMEOUT)
+                },
+            })
+            .collect();
+        let timeouts = estimates.iter().filter(|e| e.sample.is_timeout()).count();
+        let delta = self
+            .convergence
+            .adjustment(self.params.f(), self.params.way_off(), &estimates);
+        self.rounds_completed += 1;
+        vec![
+            Output::AdjustClock {
+                delta: SimDuration::from_secs(delta),
+            },
+            Output::RoundCompleted(RoundSummary {
+                round: self.round,
+                adjustment: delta,
+                responders: estimates.len() - timeouts - 1,
+                timeouts,
+            }),
+            Output::SetTimer {
+                after: self.params.sync_int(),
+                kind: TimerKind::SyncDue,
+            },
+        ]
+    }
+
+    /// Deterministic anti-replay nonce for `(id, round)`.
+    fn nonce_for(id: ProcId, round: u64) -> u64 {
+        let mut z = round
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((id.index() as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: usize, f: usize) -> ProtocolParams {
+        ProtocolParams::builder(n, f)
+            .sync_int(SimDuration::from_secs(10.0))
+            .max_wait(SimDuration::from_secs(1.0))
+            .way_off(5.0)
+            .build()
+            .unwrap()
+    }
+
+    fn lt(s: f64) -> LocalTime {
+        LocalTime::from_secs(s)
+    }
+
+    fn start(node: &mut SyncNode, at: f64) -> Vec<Output> {
+        node.handle(Input::Start { local_now: lt(at) })
+    }
+
+    fn extract_ping(outputs: &[Output], to: ProcId) -> (u64, u64) {
+        outputs
+            .iter()
+            .find_map(|o| match o {
+                Output::Send {
+                    to: t,
+                    msg: WireMessage::Ping { round, nonce },
+                } if *t == to => Some((*round, *nonce)),
+                _ => None,
+            })
+            .expect("ping to peer not found")
+    }
+
+    fn pong(from: u32, round: u64, nonce: u64, clock: f64, local_now: f64) -> Input {
+        Input::Message {
+            from: ProcId(from),
+            msg: WireMessage::Pong {
+                round,
+                nonce,
+                clock: lt(clock),
+            },
+            local_now: lt(local_now),
+        }
+    }
+
+    #[test]
+    fn start_pings_all_peers_and_arms_timeout() {
+        let mut node = SyncNode::new(ProcId(0), params(4, 1));
+        let out = start(&mut node, 100.0);
+        let pings: Vec<ProcId> = out
+            .iter()
+            .filter_map(|o| match o {
+                Output::Send { to, msg } if msg.is_ping() => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(pings, vec![ProcId(1), ProcId(2), ProcId(3)]);
+        assert!(out.iter().any(|o| matches!(
+            o,
+            Output::SetTimer {
+                after,
+                kind: TimerKind::RoundTimeout { round: 1 }
+            } if *after == SimDuration::from_secs(1.0)
+        )));
+        assert!(node.is_round_active());
+        assert_eq!(node.round(), 1);
+    }
+
+    #[test]
+    fn ping_always_answered_with_current_clock() {
+        let mut node = SyncNode::new(ProcId(2), params(4, 1));
+        // Not even started — still answers (the paper's responsiveness).
+        let out = node.handle(Input::Message {
+            from: ProcId(0),
+            msg: WireMessage::Ping { round: 9, nonce: 7 },
+            local_now: lt(55.5),
+        });
+        assert_eq!(
+            out,
+            vec![Output::Send {
+                to: ProcId(0),
+                msg: WireMessage::Pong {
+                    round: 9,
+                    nonce: 7,
+                    clock: lt(55.5)
+                }
+            }]
+        );
+    }
+
+    #[test]
+    fn full_round_with_all_pongs_completes_early() {
+        let mut node = SyncNode::new(ProcId(0), params(4, 1));
+        let out = start(&mut node, 100.0);
+        let (round, nonce) = extract_ping(&out, ProcId(1));
+        // All peers claim clock = 100.2 when we receive at 100.4:
+        // d = 100.2 - (100.4+100.0)/2 = 0.0, a = 0.2
+        assert!(node.handle(pong(1, round, nonce, 100.2, 100.4)).is_empty());
+        assert!(node.handle(pong(2, round, nonce, 100.2, 100.4)).is_empty());
+        let out = node.handle(pong(3, round, nonce, 100.2, 100.4));
+        assert!(!node.is_round_active(), "round completed early");
+        let adjust = out.iter().find_map(|o| match o {
+            Output::AdjustClock { delta } => Some(*delta),
+            _ => None,
+        });
+        // All estimates agree d=0 (a=0.2): m = 0.2, M = -0.2 → within
+        // way_off → (min(0.2,0)+max(-0.2,0))/2 = 0
+        assert_eq!(adjust, Some(SimDuration::ZERO));
+        let summary = out
+            .iter()
+            .find_map(|o| match o {
+                Output::RoundCompleted(s) => Some(*s),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(summary.responders, 3);
+        assert_eq!(summary.timeouts, 0);
+        assert_eq!(summary.round, 1);
+        // next sync armed
+        assert!(out.iter().any(|o| matches!(
+            o,
+            Output::SetTimer {
+                after,
+                kind: TimerKind::SyncDue
+            } if *after == SimDuration::from_secs(10.0)
+        )));
+        assert_eq!(node.rounds_completed(), 1);
+    }
+
+    #[test]
+    fn round_applies_positive_adjustment_when_behind() {
+        let mut node = SyncNode::new(ProcId(0), params(4, 1));
+        let out = start(&mut node, 0.0);
+        let (round, nonce) = extract_ping(&out, ProcId(1));
+        // Peers are 2 s ahead, symmetric exchange: send 0, recv 0.2,
+        // peer clock 2.1 → d = 2.1 - 0.1 = 2.0, a = 0.1.
+        for p in [1u32, 2] {
+            node.handle(pong(p, round, nonce, 2.1, 0.2));
+        }
+        let out = node.handle(pong(3, round, nonce, 2.1, 0.2));
+        let delta = out
+            .iter()
+            .find_map(|o| match o {
+                Output::AdjustClock { delta } => Some(delta.as_secs()),
+                _ => None,
+            })
+            .unwrap();
+        // m = 2.1, M = 1.9 → both beyond way_off? way_off=5 → within.
+        // min(m,0)=0, max(M,0)=1.9 → delta = 0.95
+        assert!((delta - 0.95).abs() < 1e-12, "delta={delta}");
+    }
+
+    #[test]
+    fn timeout_fills_missing_with_sentinels() {
+        let mut node = SyncNode::new(ProcId(0), params(4, 1));
+        let out = start(&mut node, 0.0);
+        let (round, nonce) = extract_ping(&out, ProcId(1));
+        node.handle(pong(1, round, nonce, 0.05, 0.1));
+        node.handle(pong(2, round, nonce, 0.05, 0.1));
+        // peer 3 never answers
+        let out = node.handle(Input::TimerFired {
+            timer: TimerKind::RoundTimeout { round },
+            local_now: lt(1.0),
+        });
+        let summary = out
+            .iter()
+            .find_map(|o| match o {
+                Output::RoundCompleted(s) => Some(*s),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(summary.responders, 2);
+        assert_eq!(summary.timeouts, 1);
+        assert!(!node.is_round_active());
+    }
+
+    #[test]
+    fn stale_round_timeout_is_ignored() {
+        let mut node = SyncNode::new(ProcId(0), params(4, 1));
+        let out = start(&mut node, 0.0);
+        let (round, nonce) = extract_ping(&out, ProcId(1));
+        for p in [1u32, 2, 3] {
+            node.handle(pong(p, round, nonce, 0.0, 0.1));
+        }
+        assert!(!node.is_round_active());
+        // timeout for the completed round arrives late: no effect
+        let out = node.handle(Input::TimerFired {
+            timer: TimerKind::RoundTimeout { round },
+            local_now: lt(1.0),
+        });
+        assert!(out.is_empty());
+        assert_eq!(node.rounds_completed(), 1);
+    }
+
+    #[test]
+    fn wrong_nonce_or_round_pong_ignored() {
+        let mut node = SyncNode::new(ProcId(0), params(4, 1));
+        let out = start(&mut node, 0.0);
+        let (round, nonce) = extract_ping(&out, ProcId(1));
+        assert!(node.handle(pong(1, round + 1, nonce, 0.0, 0.1)).is_empty());
+        assert!(node.handle(pong(1, round, nonce ^ 1, 0.0, 0.1)).is_empty());
+        // the correct pong still counts afterwards
+        node.handle(pong(1, round, nonce, 0.0, 0.1));
+        node.handle(pong(2, round, nonce, 0.0, 0.1));
+        let out = node.handle(pong(3, round, nonce, 0.0, 0.1));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, Output::RoundCompleted(_))));
+    }
+
+    #[test]
+    fn duplicate_pong_ignored() {
+        let mut node = SyncNode::new(ProcId(0), params(4, 1));
+        let out = start(&mut node, 0.0);
+        let (round, nonce) = extract_ping(&out, ProcId(1));
+        node.handle(pong(1, round, nonce, 0.0, 0.1));
+        // Byzantine duplicate with a wildly different clock
+        assert!(node.handle(pong(1, round, nonce, 99.0, 0.2)).is_empty());
+        node.handle(pong(2, round, nonce, 0.0, 0.2));
+        let out = node.handle(pong(3, round, nonce, 0.0, 0.2));
+        let delta = out
+            .iter()
+            .find_map(|o| match o {
+                Output::AdjustClock { delta } => Some(delta.as_secs()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(delta.abs() < 0.2, "duplicate must not poison: {delta}");
+    }
+
+    #[test]
+    fn pong_from_self_or_out_of_range_ignored() {
+        let mut node = SyncNode::new(ProcId(0), params(4, 1));
+        let out = start(&mut node, 0.0);
+        let (round, nonce) = extract_ping(&out, ProcId(1));
+        assert!(node.handle(pong(0, round, nonce, 0.0, 0.1)).is_empty());
+        assert!(node.handle(pong(9, round, nonce, 0.0, 0.1)).is_empty());
+    }
+
+    #[test]
+    fn pong_before_send_time_ignored_defensively() {
+        let mut node = SyncNode::new(ProcId(0), params(4, 1));
+        let out = start(&mut node, 10.0);
+        let (round, nonce) = extract_ping(&out, ProcId(1));
+        // local_now < sent_at: impossible without mid-round adjustment
+        assert!(node.handle(pong(1, round, nonce, 10.0, 9.0)).is_empty());
+    }
+
+    #[test]
+    fn sync_due_starts_next_round() {
+        let mut node = SyncNode::new(ProcId(0), params(4, 1));
+        let out = start(&mut node, 0.0);
+        let (round, nonce) = extract_ping(&out, ProcId(1));
+        for p in [1u32, 2, 3] {
+            node.handle(pong(p, round, nonce, 0.0, 0.1));
+        }
+        let out = node.handle(Input::TimerFired {
+            timer: TimerKind::SyncDue,
+            local_now: lt(10.1),
+        });
+        assert_eq!(node.round(), 2);
+        assert!(node.is_round_active());
+        let (r2, _) = extract_ping(&out, ProcId(1));
+        assert_eq!(r2, 2);
+    }
+
+    #[test]
+    fn sync_due_during_active_round_is_ignored() {
+        let mut node = SyncNode::new(ProcId(0), params(4, 1));
+        start(&mut node, 0.0);
+        let out = node.handle(Input::TimerFired {
+            timer: TimerKind::SyncDue,
+            local_now: lt(0.5),
+        });
+        assert!(out.is_empty());
+        assert_eq!(node.round(), 1);
+    }
+
+    #[test]
+    fn restart_aborts_round_and_bumps_round_number() {
+        let mut node = SyncNode::new(ProcId(0), params(4, 1));
+        let out = start(&mut node, 0.0);
+        let (r1, n1) = extract_ping(&out, ProcId(1));
+        // recovery restart mid-round
+        let out = start(&mut node, 500.0);
+        let (r2, n2) = extract_ping(&out, ProcId(1));
+        assert_eq!(r2, r1 + 1);
+        assert_ne!(n1, n2);
+        // pong for the aborted round is ignored
+        assert!(node.handle(pong(1, r1, n1, 0.0, 500.1)).is_empty());
+        // pongs for the new round work
+        node.handle(pong(1, r2, n2, 500.0, 500.1));
+        node.handle(pong(2, r2, n2, 500.0, 500.1));
+        let out = node.handle(pong(3, r2, n2, 500.0, 500.1));
+        assert!(out.iter().any(|o| matches!(o, Output::RoundCompleted(_))));
+    }
+
+    #[test]
+    fn way_off_recovery_jump() {
+        // Node's clock is 100 s behind its peers; way_off = 5 → the round
+        // must jump (m+M)/2 ≈ 100 in one adjustment.
+        let mut node = SyncNode::new(ProcId(0), params(4, 1));
+        let out = start(&mut node, 0.0);
+        let (round, nonce) = extract_ping(&out, ProcId(1));
+        for p in [1u32, 2] {
+            node.handle(pong(p, round, nonce, 100.05, 0.1));
+        }
+        let out = node.handle(pong(3, round, nonce, 100.05, 0.1));
+        let delta = out
+            .iter()
+            .find_map(|o| match o {
+                Output::AdjustClock { delta } => Some(delta.as_secs()),
+                _ => None,
+            })
+            .unwrap();
+        assert!((delta - 100.0).abs() < 0.1, "expected jump, got {delta}");
+    }
+
+    #[test]
+    fn nonces_differ_across_nodes_and_rounds() {
+        let a1 = SyncNode::nonce_for(ProcId(0), 1);
+        let a2 = SyncNode::nonce_for(ProcId(0), 2);
+        let b1 = SyncNode::nonce_for(ProcId(1), 1);
+        assert_ne!(a1, a2);
+        assert_ne!(a1, b1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn id_out_of_range_panics() {
+        SyncNode::new(ProcId(9), params(4, 1));
+    }
+
+    #[test]
+    fn multi_ping_sends_k_pings_per_peer() {
+        let params = ProtocolParams::builder(4, 1)
+            .sync_int(SimDuration::from_secs(10.0))
+            .max_wait(SimDuration::from_secs(1.0))
+            .way_off(5.0)
+            .pings_per_peer(3)
+            .build()
+            .unwrap();
+        let mut node = SyncNode::new(ProcId(0), params);
+        let out = start(&mut node, 0.0);
+        let pings = out
+            .iter()
+            .filter(|o| matches!(o, Output::Send { msg, .. } if msg.is_ping()))
+            .count();
+        assert_eq!(pings, 9, "3 peers x 3 pings");
+    }
+
+    #[test]
+    fn multi_ping_uses_best_sample_per_peer() {
+        let params = ProtocolParams::builder(4, 1)
+            .sync_int(SimDuration::from_secs(10.0))
+            .max_wait(SimDuration::from_secs(1.0))
+            .way_off(500.0)
+            .pings_per_peer(2)
+            .build()
+            .unwrap();
+        let mut node = SyncNode::new(ProcId(0), params);
+        let out = start(&mut node, 0.0);
+        let (round, nonce) = extract_ping(&out, ProcId(1));
+        // Each peer answers twice: one wide-RTT pong whose offset estimate
+        // is poisoned (d = 5.4 - 0.4 = 5.0, a = 0.4) and one tight pong
+        // carrying the true offset 2.0 (d = 2.01 - 0.01 = 2.0, a = 0.01).
+        for p in [1u32, 2, 3] {
+            node.handle(pong(p, round, nonce, 5.4, 0.8));
+        }
+        let mut last = Vec::new();
+        for p in [1u32, 2, 3] {
+            last = node.handle(pong(p, round, nonce, 2.01, 0.02));
+        }
+        assert!(!node.is_round_active(), "all k samples collected");
+        let delta = last
+            .iter()
+            .find_map(|o| match o {
+                Output::AdjustClock { delta } => Some(delta.as_secs()),
+                _ => None,
+            })
+            .unwrap();
+        // With min-RTT filtering the convergence sees the tight samples
+        // (offset 2.0): the own-clock-respecting midpoint is ~1.0. Had the
+        // wide samples won, delta would be ~2.3.
+        assert!((0.9..=1.1).contains(&delta), "delta = {delta}");
+    }
+
+    #[test]
+    fn multi_ping_excess_pongs_rejected() {
+        let params = ProtocolParams::builder(4, 1)
+            .sync_int(SimDuration::from_secs(10.0))
+            .max_wait(SimDuration::from_secs(1.0))
+            .way_off(5.0)
+            .pings_per_peer(2)
+            .build()
+            .unwrap();
+        let mut node = SyncNode::new(ProcId(0), params);
+        let out = start(&mut node, 0.0);
+        let (round, nonce) = extract_ping(&out, ProcId(1));
+        node.handle(pong(1, round, nonce, 0.0, 0.1));
+        node.handle(pong(1, round, nonce, 0.0, 0.1));
+        // third pong from the same peer is dropped (forgery/replay)
+        assert!(node.handle(pong(1, round, nonce, 99.0, 0.2)).is_empty());
+    }
+
+    #[test]
+    fn cached_mode_starts_refresher_and_sync_alarm() {
+        let mut node = SyncNode::new(ProcId(0), params(4, 1)).with_estimation(
+            EstimationMode::Cached {
+                refresh: SimDuration::from_secs(3.0),
+            },
+        );
+        let out = start(&mut node, 0.0);
+        let pings = out
+            .iter()
+            .filter(|o| matches!(o, Output::Send { msg, .. } if msg.is_ping()))
+            .count();
+        assert_eq!(pings, 3);
+        assert!(out.iter().any(|o| matches!(
+            o,
+            Output::SetTimer { kind: TimerKind::CacheRefresh, after }
+                if *after == SimDuration::from_secs(3.0)
+        )));
+        assert!(out.iter().any(|o| matches!(
+            o,
+            Output::SetTimer { kind: TimerKind::SyncDue, .. }
+        )));
+        assert!(!node.is_round_active(), "cached mode has no blocking round");
+    }
+
+    #[test]
+    fn cached_mode_sync_uses_cache_and_stale_values() {
+        let mut node = SyncNode::new(ProcId(0), params(4, 1)).with_estimation(
+            EstimationMode::Cached {
+                refresh: SimDuration::from_secs(3.0),
+            },
+        );
+        let out = start(&mut node, 0.0);
+        let (round, nonce) = extract_ping(&out, ProcId(1));
+        // peers answer: all 2 s ahead
+        for p in [1u32, 2, 3] {
+            node.handle(pong(p, round, nonce, 2.05, 0.1));
+        }
+        // sync fires: uses the cache immediately (no MaxWait round)
+        let out = node.handle(Input::TimerFired {
+            timer: TimerKind::SyncDue,
+            local_now: lt(4.0),
+        });
+        let delta = out
+            .iter()
+            .find_map(|o| match o {
+                Output::AdjustClock { delta } => Some(delta.as_secs()),
+                _ => None,
+            })
+            .expect("cached sync must adjust");
+        assert!(delta > 0.5, "uses cached estimates: {delta}");
+        // a second sync WITHOUT a refresh reuses the same stale samples —
+        // exactly the Definition 4 violation the paper warns about
+        let out = node.handle(Input::TimerFired {
+            timer: TimerKind::SyncDue,
+            local_now: lt(8.0),
+        });
+        let delta2 = out
+            .iter()
+            .find_map(|o| match o {
+                Output::AdjustClock { delta } => Some(delta.as_secs()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(delta2 > 0.5, "stale cache reapplied: {delta2}");
+    }
+
+    #[test]
+    fn cached_mode_refresh_rolls_generation() {
+        let mut node = SyncNode::new(ProcId(0), params(4, 1)).with_estimation(
+            EstimationMode::Cached {
+                refresh: SimDuration::from_secs(3.0),
+            },
+        );
+        let out = start(&mut node, 0.0);
+        let (g1, n1) = extract_ping(&out, ProcId(1));
+        let out = node.handle(Input::TimerFired {
+            timer: TimerKind::CacheRefresh,
+            local_now: lt(3.0),
+        });
+        let (g2, n2) = extract_ping(&out, ProcId(1));
+        assert_eq!(g2, g1 + 1);
+        assert_ne!(n1, n2);
+        // old-generation pong is rejected
+        assert!(node.handle(pong(1, g1, n1, 99.0, 3.1)).is_empty());
+        // new-generation pong lands in the cache (no output, but the next
+        // sync sees it)
+        node.handle(pong(1, g2, n2, 3.2, 3.3));
+        node.handle(pong(2, g2, n2, 3.2, 3.3));
+        node.handle(pong(3, g2, n2, 3.2, 3.3));
+        let out = node.handle(Input::TimerFired {
+            timer: TimerKind::SyncDue,
+            local_now: lt(4.0),
+        });
+        let delta = out
+            .iter()
+            .find_map(|o| match o {
+                Output::AdjustClock { delta } => Some(delta.as_secs()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(delta.abs() < 0.2, "fresh cache near-synced: {delta}");
+    }
+
+    #[test]
+    fn cached_mode_empty_cache_syncs_with_timeouts_only() {
+        let mut node = SyncNode::new(ProcId(0), params(4, 1)).with_estimation(
+            EstimationMode::Cached {
+                refresh: SimDuration::from_secs(3.0),
+            },
+        );
+        start(&mut node, 0.0);
+        let out = node.handle(Input::TimerFired {
+            timer: TimerKind::SyncDue,
+            local_now: lt(4.0),
+        });
+        // all-timeout cache: the selection freezes (delta 0)
+        let delta = out
+            .iter()
+            .find_map(|o| match o {
+                Output::AdjustClock { delta } => Some(delta.as_secs()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(delta, 0.0);
+        let summary = out
+            .iter()
+            .find_map(|o| match o {
+                Output::RoundCompleted(s) => Some(*s),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(summary.timeouts, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn cached_mode_zero_refresh_panics() {
+        let _ = SyncNode::new(ProcId(0), params(4, 1)).with_estimation(
+            EstimationMode::Cached {
+                refresh: SimDuration::ZERO,
+            },
+        );
+    }
+
+    #[test]
+    fn convergence_name_is_exposed() {
+        let node = SyncNode::new(ProcId(0), params(4, 1));
+        assert_eq!(node.convergence_name(), "paper-sync");
+    }
+}

@@ -1,0 +1,144 @@
+//! E2 ("Figure A") — Lemma 7(ii): envelope contraction.
+//!
+//! Claim: if the good processors' biases span `2D` at the start of an
+//! interval of length `T`, they span at most `7D/4 + 2Λ` at its end —
+//! i.e. the spread contracts by a factor ≤ 7/8 per interval (up to the
+//! `2Λ` reading-error floor).
+//!
+//! Method: start all clocks evenly dispersed over `[−D, +D]`, no faults,
+//! and record the good spread at every interval boundary `iT`. The
+//! empirical per-interval contraction factor (above the floor) must be at
+//! most 7/8.
+
+use byzclock_runtime::InitialBias;
+use byzclock_sim::RealTime;
+
+use crate::experiments::{ExperimentReport, Mode};
+use crate::metrics::BiasHistory;
+use crate::scenario::Scenario;
+use crate::series::Series;
+use crate::table::{fmt_secs, Table};
+
+/// Runs E2.
+pub fn run(mode: Mode) -> ExperimentReport {
+    let scenario = Scenario::standard(7, 2);
+    let bounds = scenario.bounds();
+    let t = scenario.t();
+    let d = bounds.d;
+    let lambda = scenario.model().lambda;
+    let intervals = match mode {
+        Mode::Quick => 6,
+        Mode::Full => 12,
+    };
+
+    // Evenly disperse the initial biases over [-D, +D].
+    let n = scenario.n;
+    let biases: Vec<f64> = (0..n)
+        .map(|i| -d + 2.0 * d * (i as f64) / (n as f64 - 1.0))
+        .collect();
+
+    let history = BiasHistory::new();
+    let mut world = scenario
+        .builder()
+        .initial_bias(InitialBias::Explicit(biases))
+        .sample_interval(t)
+        .build()
+        .expect("E2 world must build");
+    world.add_observer(Box::new(history.clone()));
+    world.run_until(RealTime::ZERO + t * (intervals as f64 + 0.5));
+
+    // Spread at each interval boundary (samples land exactly at multiples
+    // of T thanks to sample_interval = T).
+    let samples = history.samples();
+    let mut spreads: Vec<f64> = samples
+        .iter()
+        .filter_map(|s| s.good_deviation())
+        .collect();
+    spreads.insert(0, 2.0 * d); // the configured initial spread
+
+    let mut series = Series::new("good-set spread per interval", "interval i", "spread (s)");
+    let mut table = Table::new(
+        "Figure A: spread contraction per interval (bound: 7/8 per interval + 2L floor)",
+        &["interval", "spread", "ratio", "bound-ok"],
+    );
+    let mut all_pass = true;
+    for (i, &s) in spreads.iter().enumerate() {
+        series.push(i as f64, s);
+        let (ratio, ok) = if i == 0 {
+            (f64::NAN, true)
+        } else {
+            let prev = spreads[i - 1];
+            let bound = 7.0 / 8.0 * prev + 2.0 * lambda;
+            (s / prev, s <= bound + 1e-9)
+        };
+        all_pass &= ok;
+        table.row_owned(vec![
+            i.to_string(),
+            fmt_secs(s),
+            if ratio.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{ratio:.3}")
+            },
+            if ok { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+
+    // The spread must also end far below where it started.
+    let final_spread = *spreads.last().expect("at least initial spread");
+    all_pass &= final_spread < 2.0 * d * 0.5;
+
+    // Claim 8, verified end-to-end: the measured per-interval good-bias
+    // extents must form an envelope chain with |E_i| <= 2D and
+    // E_i ⊆ E_{i-1} + C/2.
+    let extents: Vec<(f64, f64)> = samples
+        .iter()
+        .filter_map(|s| s.good_bias_range())
+        .collect();
+    let claim8_violations = if extents.is_empty() {
+        usize::MAX
+    } else {
+        byzclock_core::EnvelopeChain::from_extents(
+            &extents,
+            t.as_secs(),
+            scenario.rho,
+        )
+        .verify(bounds.d, bounds.c)
+        .len()
+    };
+    all_pass &= claim8_violations == 0;
+
+    ExperimentReport {
+        id: "E2",
+        title: "Envelope contraction (Lemma 7(ii))".into(),
+        claim: "spread(i+1) <= 7/8 * spread(i) + 2L; good biases stay in the envelope".into(),
+        tables: vec![table],
+        series: vec![series.log_y()],
+        notes: vec![
+            format!(
+                "D = {}, initial spread 2D = {}, reading-error floor 2L = {}",
+                fmt_secs(d),
+                fmt_secs(2.0 * d),
+                fmt_secs(2.0 * lambda)
+            ),
+            format!(
+                "Claim 8 envelope-chain check: {} violations across {} intervals",
+                claim8_violations,
+                spreads.len()
+            ),
+        ],
+        pass: all_pass,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_quick_passes() {
+        let report = run(Mode::Quick);
+        assert!(report.pass, "\n{}", report.render());
+        assert!(!report.series[0].is_empty());
+    }
+}

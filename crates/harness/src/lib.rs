@@ -1,0 +1,39 @@
+//! Experiment harness for the byzclock reproduction.
+//!
+//! The paper is an extended abstract with *no measured evaluation*; what it
+//! offers instead are precise quantitative claims (Theorem 5, Lemma 7,
+//! Claim 8) and comparative discussion claims (Sections 1.1, 3.3, 5). This
+//! crate regenerates each of those as a table or series — see DESIGN.md §3
+//! for the experiment index E1–E19 and EXPERIMENTS.md for the recorded
+//! results.
+//!
+//! Structure:
+//!
+//! * [`stats`] — summary statistics and linear regression.
+//! * [`table`] / [`series`] — paper-style table and ASCII-plot rendering
+//!   (plus CSV for machine consumption), and [`svg`] for publication-style
+//!   figures.
+//! * [`metrics`] — [`Observer`](byzclock_runtime::Observer) implementations
+//!   that track deviation, recovery, discontinuity and accuracy during a
+//!   run (shared-handle pattern: clone the tracker, box one clone into the
+//!   world, read the other afterwards).
+//! * [`scenario`] — canned world configurations used across experiments.
+//! * [`experiments`] — one module per experiment, each returning an
+//!   [`experiments::ExperimentReport`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod scenario;
+pub mod series;
+pub mod stats;
+pub mod svg;
+pub mod table;
+
+pub use experiments::{ExperimentReport, Mode};
+pub use metrics::{AdjustmentTracker, BiasHistory, DeviationTracker, RecoveryTracker};
+pub use series::Series;
+pub use stats::Summary;
+pub use table::Table;

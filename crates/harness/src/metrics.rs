@@ -1,0 +1,543 @@
+//! Metric trackers: [`Observer`] implementations with shared handles.
+//!
+//! Pattern: trackers are cheaply cloneable handles over shared interior
+//! state. Clone one into the world as an observer and keep the other to
+//! read results after the run:
+//!
+//! ```
+//! use byzclock_harness::DeviationTracker;
+//! use byzclock_runtime::WorldBuilder;
+//! use byzclock_sim::{RealTime, SimDuration};
+//!
+//! let tracker = DeviationTracker::new();
+//! let mut world = WorldBuilder::new(4, 1)
+//!     .big_delta(SimDuration::from_secs(40.0))
+//!     .build()
+//!     .unwrap();
+//! world.add_observer(Box::new(tracker.clone()));
+//! world.run_until(RealTime::from_secs(60.0));
+//! assert!(tracker.max_deviation().unwrap() < 1.0);
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use byzclock_runtime::{Observer, WorldSample};
+use byzclock_sim::{ProcId, RealTime};
+
+/// Tracks the maximum good-set deviation and its time series.
+#[derive(Debug, Clone, Default)]
+pub struct DeviationTracker {
+    inner: Rc<RefCell<DeviationInner>>,
+}
+
+#[derive(Debug, Default)]
+struct DeviationInner {
+    max: Option<(RealTime, f64)>,
+    series: Vec<(f64, f64)>,
+    min_good_count: Option<usize>,
+    /// Samples ignored before this time (warm-up).
+    measure_from: f64,
+}
+
+impl DeviationTracker {
+    /// Tracker measuring from time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tracker that ignores samples before `from` (warm-up period).
+    pub fn measuring_from(from: RealTime) -> Self {
+        let t = Self::default();
+        t.inner.borrow_mut().measure_from = from.as_secs();
+        t
+    }
+
+    /// The maximum observed good-set deviation, seconds.
+    pub fn max_deviation(&self) -> Option<f64> {
+        self.inner.borrow().max.map(|(_, d)| d)
+    }
+
+    /// When the maximum occurred.
+    pub fn max_deviation_at(&self) -> Option<RealTime> {
+        self.inner.borrow().max.map(|(t, _)| t)
+    }
+
+    /// Full `(τ seconds, deviation)` series.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        self.inner.borrow().series.clone()
+    }
+
+    /// Smallest number of good processors seen in any sample.
+    pub fn min_good_count(&self) -> Option<usize> {
+        self.inner.borrow().min_good_count
+    }
+
+    /// The most recent deviation value.
+    pub fn last_deviation(&self) -> Option<f64> {
+        self.inner.borrow().series.last().map(|(_, d)| *d)
+    }
+
+    /// Mean deviation over all recorded samples (more stable than the max
+    /// for comparing configurations).
+    pub fn avg_deviation(&self) -> Option<f64> {
+        let inner = self.inner.borrow();
+        if inner.series.is_empty() {
+            return None;
+        }
+        Some(inner.series.iter().map(|(_, d)| d).sum::<f64>() / inner.series.len() as f64)
+    }
+}
+
+impl Observer for DeviationTracker {
+    fn on_sample(&mut self, sample: &WorldSample) {
+        let mut inner = self.inner.borrow_mut();
+        if sample.tau.as_secs() < inner.measure_from {
+            return;
+        }
+        let gc = sample.good_count();
+        inner.min_good_count = Some(inner.min_good_count.map_or(gc, |m| m.min(gc)));
+        if let Some(dev) = sample.good_deviation() {
+            inner.series.push((sample.tau.as_secs(), dev));
+            if inner.max.is_none_or(|(_, m)| dev > m) {
+                inner.max = Some((sample.tau, dev));
+            }
+        }
+    }
+}
+
+/// Records every clock adjustment, for discontinuity metrics.
+#[derive(Debug, Clone, Default)]
+pub struct AdjustmentTracker {
+    inner: Rc<RefCell<AdjustmentInner>>,
+}
+
+#[derive(Debug, Default)]
+struct AdjustmentInner {
+    /// `(node, delta, tau, good)` tuples.
+    all: Vec<(ProcId, f64, f64, bool)>,
+}
+
+impl AdjustmentTracker {
+    /// New tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Max `|delta|` over adjustments applied by *good* processors — the
+    /// measured discontinuity ψ.
+    pub fn max_good_discontinuity(&self) -> Option<f64> {
+        self.max_good_discontinuity_from(0.0)
+    }
+
+    /// Like [`AdjustmentTracker::max_good_discontinuity`] but ignoring
+    /// adjustments before `from_secs` (the initial-convergence transient is
+    /// not covered by Theorem 5(ii), which assumes a correctly initialized
+    /// system).
+    pub fn max_good_discontinuity_from(&self, from_secs: f64) -> Option<f64> {
+        self.inner
+            .borrow()
+            .all
+            .iter()
+            .filter(|(_, _, t, good)| *good && *t >= from_secs)
+            .map(|(_, d, _, _)| d.abs())
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Total number of adjustments recorded.
+    pub fn count(&self) -> usize {
+        self.inner.borrow().all.len()
+    }
+
+    /// Adjustments of one node as `(tau, delta)`.
+    pub fn of_node(&self, node: ProcId) -> Vec<(f64, f64)> {
+        self.inner
+            .borrow()
+            .all
+            .iter()
+            .filter(|(p, _, _, _)| *p == node)
+            .map(|(_, d, t, _)| (*t, *d))
+            .collect()
+    }
+}
+
+impl Observer for AdjustmentTracker {
+    fn on_adjustment(&mut self, node: ProcId, delta: f64, tau: RealTime, good: bool) {
+        self.inner
+            .borrow_mut()
+            .all
+            .push((node, delta, tau.as_secs(), good));
+    }
+}
+
+/// Stores every sample — the raw material for contraction, recovery and
+/// accuracy analysis.
+#[derive(Debug, Clone, Default)]
+pub struct BiasHistory {
+    inner: Rc<RefCell<Vec<WorldSample>>>,
+}
+
+impl BiasHistory {
+    /// New history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All recorded samples.
+    pub fn samples(&self) -> Vec<WorldSample> {
+        self.inner.borrow().clone()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// True iff no samples recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Bias trajectory of one node: `(τ seconds, bias seconds)`.
+    pub fn trajectory(&self, node: ProcId) -> Vec<(f64, f64)> {
+        self.inner
+            .borrow()
+            .iter()
+            .map(|s| (s.tau.as_secs(), s.bias_of(node).as_secs()))
+            .collect()
+    }
+
+    /// Distance of `node`'s bias to the good range (excluding the node
+    /// itself), per sample: `(τ, |distance|)`. The Lemma 7(iii) ε.
+    pub fn distance_to_good(&self, node: ProcId) -> Vec<(f64, f64)> {
+        self.inner
+            .borrow()
+            .iter()
+            .filter_map(|s| {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                let mut any = false;
+                for (i, (b, g)) in s.biases.iter().zip(&s.good).enumerate() {
+                    if i != node.index() && *g {
+                        lo = lo.min(b.as_secs());
+                        hi = hi.max(b.as_secs());
+                        any = true;
+                    }
+                }
+                if !any {
+                    return None;
+                }
+                let b = s.bias_of(node).as_secs();
+                let d = if b > hi {
+                    b - hi
+                } else if b < lo {
+                    lo - b
+                } else {
+                    0.0
+                };
+                Some((s.tau.as_secs(), d))
+            })
+            .collect()
+    }
+}
+
+impl Observer for BiasHistory {
+    fn on_sample(&mut self, sample: &WorldSample) {
+        self.inner.borrow_mut().push(sample.clone());
+    }
+}
+
+/// One corruption episode's recovery measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryRecord {
+    /// The recovering processor.
+    pub node: ProcId,
+    /// When the adversary released it.
+    pub released_at: RealTime,
+    /// First sample time at which its distance to the good range fell to
+    /// `threshold` or below (`None` = never within the run).
+    pub recovered_at: Option<RealTime>,
+}
+
+impl RecoveryRecord {
+    /// Recovery latency, if recovered.
+    pub fn latency_secs(&self) -> Option<f64> {
+        self.recovered_at
+            .map(|r| (r - self.released_at).as_secs())
+    }
+}
+
+/// Measures recovery times: after each release, the first sample where the
+/// node's bias is within `threshold` of the good range.
+#[derive(Debug, Clone)]
+pub struct RecoveryTracker {
+    inner: Rc<RefCell<RecoveryInner>>,
+}
+
+#[derive(Debug)]
+struct RecoveryInner {
+    threshold: f64,
+    pending: Vec<(ProcId, RealTime)>,
+    records: Vec<RecoveryRecord>,
+}
+
+impl RecoveryTracker {
+    /// Recovery is declared when the distance to the good range is at most
+    /// `threshold` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or non-finite.
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "invalid threshold"
+        );
+        RecoveryTracker {
+            inner: Rc::new(RefCell::new(RecoveryInner {
+                threshold,
+                pending: Vec::new(),
+                records: Vec::new(),
+            })),
+        }
+    }
+
+    /// Completed and pending episodes (pending ones have
+    /// `recovered_at = None`).
+    pub fn records(&self) -> Vec<RecoveryRecord> {
+        let inner = self.inner.borrow();
+        let mut out = inner.records.clone();
+        out.extend(inner.pending.iter().map(|(node, at)| RecoveryRecord {
+            node: *node,
+            released_at: *at,
+            recovered_at: None,
+        }));
+        out
+    }
+
+    /// Recovery latencies of all recovered episodes, seconds.
+    pub fn latencies(&self) -> Vec<f64> {
+        self.inner
+            .borrow()
+            .records
+            .iter()
+            .filter_map(|r| r.latency_secs())
+            .collect()
+    }
+
+    /// Number of episodes that never recovered (still pending).
+    pub fn unrecovered(&self) -> usize {
+        self.inner.borrow().pending.len()
+    }
+}
+
+impl Observer for RecoveryTracker {
+    fn on_release(&mut self, node: ProcId, tau: RealTime) {
+        self.inner.borrow_mut().pending.push((node, tau));
+    }
+
+    fn on_sample(&mut self, sample: &WorldSample) {
+        let mut inner = self.inner.borrow_mut();
+        let threshold = inner.threshold;
+        let mut still_pending = Vec::new();
+        let pending = std::mem::take(&mut inner.pending);
+        for (node, released_at) in pending {
+            // distance of node's bias to the range of *other* good nodes
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            let mut any = false;
+            for (i, (b, g)) in sample.biases.iter().zip(&sample.good).enumerate() {
+                if i != node.index() && *g {
+                    lo = lo.min(b.as_secs());
+                    hi = hi.max(b.as_secs());
+                    any = true;
+                }
+            }
+            let b = sample.bias_of(node).as_secs();
+            let dist = if !any {
+                f64::INFINITY
+            } else if b > hi {
+                b - hi
+            } else if b < lo {
+                lo - b
+            } else {
+                0.0
+            };
+            if !sample.corrupt[node.index()] && dist <= threshold {
+                inner.records.push(RecoveryRecord {
+                    node,
+                    released_at,
+                    recovered_at: Some(sample.tau),
+                });
+            } else {
+                still_pending.push((node, released_at));
+            }
+        }
+        inner.pending = still_pending;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use byzclock_clock::Bias;
+
+    fn sample(tau: f64, biases: &[f64], good: &[bool], corrupt: &[bool]) -> WorldSample {
+        WorldSample {
+            tau: RealTime::from_secs(tau),
+            biases: biases.iter().map(|b| Bias::from_secs(*b)).collect(),
+            corrupt: corrupt.to_vec(),
+            good: good.to_vec(),
+        }
+    }
+
+    #[test]
+    fn deviation_tracker_takes_max() {
+        let mut t = DeviationTracker::new();
+        t.on_sample(&sample(
+            1.0,
+            &[0.0, 0.1],
+            &[true, true],
+            &[false, false],
+        ));
+        t.on_sample(&sample(
+            2.0,
+            &[0.0, 0.3],
+            &[true, true],
+            &[false, false],
+        ));
+        t.on_sample(&sample(
+            3.0,
+            &[0.0, 0.2],
+            &[true, true],
+            &[false, false],
+        ));
+        assert!((t.max_deviation().unwrap() - 0.3).abs() < 1e-12);
+        assert_eq!(t.max_deviation_at().unwrap(), RealTime::from_secs(2.0));
+        assert_eq!(t.series().len(), 3);
+        assert!((t.last_deviation().unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(t.min_good_count(), Some(2));
+    }
+
+    #[test]
+    fn deviation_tracker_warmup_skips() {
+        let mut t = DeviationTracker::measuring_from(RealTime::from_secs(10.0));
+        t.on_sample(&sample(5.0, &[0.0, 9.0], &[true, true], &[false, false]));
+        assert!(t.max_deviation().is_none());
+        t.on_sample(&sample(15.0, &[0.0, 0.1], &[true, true], &[false, false]));
+        assert!((t.max_deviation().unwrap() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_tracker_ignores_bad_nodes() {
+        let mut t = DeviationTracker::new();
+        t.on_sample(&sample(
+            1.0,
+            &[0.0, 0.1, 99.0],
+            &[true, true, false],
+            &[false, false, true],
+        ));
+        assert!((t.max_deviation().unwrap() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjustment_tracker_good_discontinuity() {
+        let mut t = AdjustmentTracker::new();
+        t.on_adjustment(ProcId(0), 0.05, RealTime::from_secs(1.0), true);
+        t.on_adjustment(ProcId(1), -0.2, RealTime::from_secs(2.0), true);
+        t.on_adjustment(ProcId(2), 99.0, RealTime::from_secs(3.0), false); // recovering: exempt
+        assert!((t.max_good_discontinuity().unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(t.count(), 3);
+        assert_eq!(t.of_node(ProcId(1)), vec![(2.0, -0.2)]);
+    }
+
+    #[test]
+    fn bias_history_trajectory_and_distance() {
+        let mut h = BiasHistory::new();
+        h.on_sample(&sample(
+            1.0,
+            &[0.0, 0.1, 5.0],
+            &[true, true, false],
+            &[false, false, false],
+        ));
+        h.on_sample(&sample(
+            2.0,
+            &[0.0, 0.1, 2.0],
+            &[true, true, false],
+            &[false, false, false],
+        ));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.trajectory(ProcId(2)), vec![(1.0, 5.0), (2.0, 2.0)]);
+        let d = h.distance_to_good(ProcId(2));
+        assert!((d[0].1 - 4.9).abs() < 1e-12);
+        assert!((d[1].1 - 1.9).abs() < 1e-12);
+        // node 0's "others-good" range is just node 1's bias (0.1), so its
+        // own bias 0.0 is 0.1 below the range
+        assert!((h.distance_to_good(ProcId(0))[0].1 - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_tracker_measures_latency() {
+        let mut t = RecoveryTracker::new(0.5);
+        t.on_release(ProcId(2), RealTime::from_secs(10.0));
+        // still far at 11
+        t.on_sample(&sample(
+            11.0,
+            &[0.0, 0.1, 9.0],
+            &[true, true, false],
+            &[false, false, false],
+        ));
+        assert_eq!(t.unrecovered(), 1);
+        // recovered at 14
+        t.on_sample(&sample(
+            14.0,
+            &[0.0, 0.1, 0.3],
+            &[true, true, false],
+            &[false, false, false],
+        ));
+        assert_eq!(t.unrecovered(), 0);
+        let recs = t.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].latency_secs(), Some(4.0));
+        assert_eq!(t.latencies(), vec![4.0]);
+    }
+
+    #[test]
+    fn recovery_tracker_requires_release_of_control() {
+        let mut t = RecoveryTracker::new(0.5);
+        t.on_release(ProcId(1), RealTime::from_secs(0.0));
+        // bias looks fine but the node is corrupted again: not recovered
+        t.on_sample(&sample(
+            1.0,
+            &[0.0, 0.1],
+            &[true, false],
+            &[false, true],
+        ));
+        assert_eq!(t.unrecovered(), 1);
+    }
+
+    #[test]
+    fn recovery_pending_reported_as_unrecovered_record() {
+        let t = RecoveryTracker::new(0.1);
+        let mut obs = t.clone();
+        obs.on_release(ProcId(0), RealTime::from_secs(3.0));
+        let recs = t.records();
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].recovered_at.is_none());
+        assert!(recs[0].latency_secs().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn recovery_rejects_bad_threshold() {
+        RecoveryTracker::new(f64::NAN);
+    }
+
+    #[test]
+    fn clone_handles_share_state() {
+        let t = DeviationTracker::new();
+        let mut observer = t.clone();
+        observer.on_sample(&sample(1.0, &[0.0, 1.0], &[true, true], &[false, false]));
+        assert!((t.max_deviation().unwrap() - 1.0).abs() < 1e-12);
+    }
+}

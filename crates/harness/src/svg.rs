@@ -1,0 +1,262 @@
+//! Self-contained SVG rendering for [`Series`] — publication-style figures
+//! with no external dependencies.
+//!
+//! The renderer produces a minimal, deterministic SVG: axes, tick labels,
+//! one polyline per series, and a legend. Multiple series can share one
+//! plot (e.g. measured deviation vs. the γ bound across K).
+
+use crate::series::Series;
+
+/// Options for an SVG figure.
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Figure title.
+    pub title: String,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+    /// Log-scale the y axis.
+    pub log_y: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            title: String::new(),
+            width: 640,
+            height: 400,
+            log_y: false,
+        }
+    }
+}
+
+/// Series stroke colors, cycled.
+const COLORS: &[&str] = &["#1f6feb", "#d1242f", "#1a7f37", "#9a6700", "#8250df"];
+
+const MARGIN_LEFT: f64 = 64.0;
+const MARGIN_RIGHT: f64 = 16.0;
+const MARGIN_TOP: f64 = 32.0;
+const MARGIN_BOTTOM: f64 = 40.0;
+
+/// Renders one or more series into a single SVG document.
+///
+/// Returns a placeholder SVG (with the title and "no data") when every
+/// series is empty.
+///
+/// ```
+/// use byzclock_harness::{svg, Series};
+///
+/// let mut s = Series::new("dev", "t", "s");
+/// s.push(0.0, 1.0);
+/// s.push(1.0, 0.5);
+/// let doc = svg::render(&[&s], &svg::SvgOptions::default());
+/// assert!(doc.starts_with("<svg"));
+/// assert!(doc.contains("polyline"));
+/// ```
+pub fn render(series: &[&Series], options: &SvgOptions) -> String {
+    let w = options.width as f64;
+    let h = options.height as f64;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+         viewBox=\"0 0 {} {}\" font-family=\"sans-serif\" font-size=\"12\">\n",
+        options.width, options.height, options.width, options.height
+    ));
+    out.push_str(&format!(
+        "<rect width=\"{}\" height=\"{}\" fill=\"white\"/>\n",
+        options.width, options.height
+    ));
+    if !options.title.is_empty() {
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"18\" text-anchor=\"middle\" font-size=\"14\">{}</text>\n",
+            w / 2.0,
+            escape(&options.title)
+        ));
+    }
+
+    let points: Vec<Vec<(f64, f64)>> = series
+        .iter()
+        .map(|s| {
+            s.points()
+                .iter()
+                .map(|&(x, y)| {
+                    let y = if options.log_y { y.max(1e-300).log10() } else { y };
+                    (x, y)
+                })
+                .collect()
+        })
+        .collect();
+    let all: Vec<(f64, f64)> = points.iter().flatten().copied().collect();
+    if all.is_empty() {
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">no data</text>\n</svg>\n",
+            w / 2.0,
+            h / 2.0
+        ));
+        return out;
+    }
+
+    let (xmin, xmax) = min_max(all.iter().map(|p| p.0));
+    let (ymin, ymax) = min_max(all.iter().map(|p| p.1));
+    let xspan = (xmax - xmin).max(1e-300);
+    let yspan = (ymax - ymin).max(1e-300);
+    let plot_w = w - MARGIN_LEFT - MARGIN_RIGHT;
+    let plot_h = h - MARGIN_TOP - MARGIN_BOTTOM;
+    let px = |x: f64| MARGIN_LEFT + (x - xmin) / xspan * plot_w;
+    let py = |y: f64| MARGIN_TOP + (ymax - y) / yspan * plot_h;
+
+    // axes
+    out.push_str(&format!(
+        "<line x1=\"{l}\" y1=\"{t}\" x2=\"{l}\" y2=\"{b}\" stroke=\"black\"/>\n\
+         <line x1=\"{l}\" y1=\"{b}\" x2=\"{r}\" y2=\"{b}\" stroke=\"black\"/>\n",
+        l = MARGIN_LEFT,
+        t = MARGIN_TOP,
+        b = MARGIN_TOP + plot_h,
+        r = MARGIN_LEFT + plot_w
+    ));
+    // ticks (5 per axis)
+    for i in 0..=4 {
+        let frac = i as f64 / 4.0;
+        let xv = xmin + frac * xspan;
+        let yv = ymin + frac * yspan;
+        let ylabel = if options.log_y {
+            format!("1e{yv:.1}")
+        } else {
+            format!("{yv:.3}")
+        };
+        out.push_str(&format!(
+            "<text x=\"{x}\" y=\"{y}\" text-anchor=\"middle\">{v:.3}</text>\n",
+            x = px(xv),
+            y = MARGIN_TOP + plot_h + 16.0,
+            v = xv
+        ));
+        out.push_str(&format!(
+            "<text x=\"{x}\" y=\"{y}\" text-anchor=\"end\">{v}</text>\n",
+            x = MARGIN_LEFT - 6.0,
+            y = py(yv) + 4.0,
+            v = ylabel
+        ));
+        out.push_str(&format!(
+            "<line x1=\"{l}\" y1=\"{y}\" x2=\"{r}\" y2=\"{y}\" stroke=\"#eee\"/>\n",
+            l = MARGIN_LEFT,
+            r = MARGIN_LEFT + plot_w,
+            y = py(yv)
+        ));
+    }
+
+    // polylines + legend
+    for (i, (s, pts)) in series.iter().zip(&points).enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let path: Vec<String> = pts
+            .iter()
+            .map(|&(x, y)| format!("{:.2},{:.2}", px(x), py(y)))
+            .collect();
+        out.push_str(&format!(
+            "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\" points=\"{}\"/>\n",
+            path.join(" ")
+        ));
+        let ly = MARGIN_TOP + 14.0 * i as f64 + 4.0;
+        out.push_str(&format!(
+            "<rect x=\"{x}\" y=\"{y}\" width=\"10\" height=\"10\" fill=\"{color}\"/>\n\
+             <text x=\"{tx}\" y=\"{ty}\">{name}</text>\n",
+            x = MARGIN_LEFT + 8.0,
+            y = ly - 9.0,
+            tx = MARGIN_LEFT + 22.0,
+            ty = ly,
+            name = escape(s.name())
+        ));
+    }
+
+    out.push_str("</svg>\n");
+    out
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(name: &str) -> Series {
+        let mut s = Series::new(name, "x", "y");
+        for i in 0..10 {
+            s.push(i as f64, (i as f64 * 0.7).sin() + 2.0);
+        }
+        s
+    }
+
+    #[test]
+    fn renders_valid_svg_shell() {
+        let s = demo("one");
+        let doc = render(&[&s], &SvgOptions::default());
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.trim_end().ends_with("</svg>"));
+        assert_eq!(doc.matches("<polyline").count(), 1);
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_colors() {
+        let a = demo("alpha");
+        let b = demo("beta");
+        let doc = render(&[&a, &b], &SvgOptions::default());
+        assert_eq!(doc.matches("<polyline").count(), 2);
+        assert!(doc.contains("alpha"));
+        assert!(doc.contains("beta"));
+        assert!(doc.contains(COLORS[0]));
+        assert!(doc.contains(COLORS[1]));
+    }
+
+    #[test]
+    fn empty_series_renders_placeholder() {
+        let s = Series::new("empty", "x", "y");
+        let doc = render(&[&s], &SvgOptions::default());
+        assert!(doc.contains("no data"));
+        assert!(doc.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let s = demo("s");
+        let doc = render(
+            &[&s],
+            &SvgOptions {
+                title: "a < b & c".into(),
+                ..SvgOptions::default()
+            },
+        );
+        assert!(doc.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn log_scale_labels() {
+        let mut s = Series::new("decay", "x", "y");
+        for i in 0..8 {
+            s.push(i as f64, 10f64.powi(-i));
+        }
+        let doc = render(
+            &[&s],
+            &SvgOptions {
+                log_y: true,
+                ..SvgOptions::default()
+            },
+        );
+        assert!(doc.contains("1e-"));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let s = demo("d");
+        let a = render(&[&s], &SvgOptions::default());
+        let b = render(&[&s], &SvgOptions::default());
+        assert_eq!(a, b);
+    }
+}

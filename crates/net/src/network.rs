@@ -1,0 +1,429 @@
+//! The network fabric: routing decisions, delay sampling, authentication
+//! semantics, link failures, and traffic statistics.
+//!
+//! [`Network`] decides *when* (and whether) a message sent now would be
+//! delivered; actually enqueueing the delivery event is the runtime's job.
+//! This separation keeps the network model synchronous and trivially
+//! testable.
+
+use byzclock_sim::{DetRng, ProcId, RealTime, SimDuration};
+
+use crate::delay::DelayModel;
+use crate::topology::Topology;
+
+/// Why a message was not delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// No edge between the endpoints in the topology.
+    NotAdjacent,
+    /// The link exists but is administratively down / partitioned.
+    LinkDown,
+    /// Sender and receiver are the same processor.
+    SelfSend,
+    /// Random loss (only when a loss probability is configured — this
+    /// deliberately steps outside the paper's reliable-link axiom).
+    Lost,
+}
+
+/// Result of a send attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SendOutcome {
+    /// The message will arrive at the receiver at the given real time.
+    Delivered {
+        /// Delivery time (`send time + sampled delay`).
+        at: RealTime,
+    },
+    /// The message is lost.
+    Dropped(DropReason),
+}
+
+impl SendOutcome {
+    /// Delivery time if delivered.
+    pub fn delivery_time(self) -> Option<RealTime> {
+        match self {
+            SendOutcome::Delivered { at } => Some(at),
+            SendOutcome::Dropped(_) => None,
+        }
+    }
+}
+
+/// Administrative link state: a predicate cutting links on top of the
+/// topology (for partitions and transient outages).
+#[derive(Debug, Clone, Default)]
+pub struct LinkFilter {
+    /// Directed pairs currently down.
+    down: std::collections::HashSet<(ProcId, ProcId)>,
+}
+
+impl LinkFilter {
+    /// All links up.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cuts both directions of `{a, b}`.
+    pub fn cut(&mut self, a: ProcId, b: ProcId) {
+        self.down.insert((a, b));
+        self.down.insert((b, a));
+    }
+
+    /// Restores both directions of `{a, b}`.
+    pub fn restore(&mut self, a: ProcId, b: ProcId) {
+        self.down.remove(&(a, b));
+        self.down.remove(&(b, a));
+    }
+
+    /// Cuts every link between the two groups (a partition).
+    pub fn partition(&mut self, side_a: &[ProcId], side_b: &[ProcId]) {
+        for &a in side_a {
+            for &b in side_b {
+                self.cut(a, b);
+            }
+        }
+    }
+
+    /// Restores every link.
+    pub fn heal_all(&mut self) {
+        self.down.clear();
+    }
+
+    /// True iff the directed link is up.
+    pub fn is_up(&self, from: ProcId, to: ProcId) -> bool {
+        !self.down.contains(&(from, to))
+    }
+
+    /// Number of directed links currently down.
+    pub fn down_count(&self) -> usize {
+        self.down.len()
+    }
+}
+
+/// Cumulative traffic statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Messages accepted for delivery.
+    pub delivered: u64,
+    /// Messages dropped (any reason).
+    pub dropped: u64,
+    /// Messages sent through the forged path (adversary traffic).
+    pub forged: u64,
+}
+
+/// The network fabric.
+///
+/// Enforces the paper's Section 2.2 guarantees for honest traffic:
+/// messages between connected, link-up processors are delivered exactly
+/// once within `(0, δ]`. Authentication is structural: honest sends carry
+/// their true sender, and [`Network::send_forged`] exists only for the
+/// adversary (the runtime restricts it to currently-corrupted senders).
+///
+/// ```
+/// use byzclock_net::{ConstantDelay, Network, Topology};
+/// use byzclock_sim::{ProcId, RealTime, RngHub, SimDuration};
+///
+/// let delta = SimDuration::from_millis(10.0);
+/// let mut net = Network::new(
+///     Topology::full_mesh(3),
+///     Box::new(ConstantDelay::new(SimDuration::from_millis(4.0))),
+///     delta,
+/// );
+/// let mut rng = RngHub::new(1).stream("net", 0);
+/// let out = net.send(ProcId(0), ProcId(1), RealTime::ZERO, &mut rng);
+/// assert_eq!(out.delivery_time().unwrap(), RealTime::from_secs(0.004));
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    topology: Topology,
+    delays: Box<dyn DelayModel>,
+    delta: SimDuration,
+    links: LinkFilter,
+    stats: NetworkStats,
+    loss_probability: f64,
+}
+
+impl Network {
+    /// Creates a network over `topology` with the given delay model and
+    /// message delivery bound `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay model can exceed `delta` — that would silently
+    /// violate the paper's analysis assumptions — or if `delta` is not
+    /// positive.
+    pub fn new(topology: Topology, delays: Box<dyn DelayModel>, delta: SimDuration) -> Self {
+        assert!(delta > SimDuration::ZERO, "delta must be positive");
+        assert!(
+            delays.max_delay() <= delta,
+            "delay model max {} exceeds delta {}",
+            delays.max_delay(),
+            delta
+        );
+        Network {
+            topology,
+            delays,
+            delta,
+            links: LinkFilter::new(),
+            stats: NetworkStats::default(),
+            loss_probability: 0.0,
+        }
+    }
+
+    /// Configures independent random message loss with probability `p`.
+    ///
+    /// **This violates the paper's Section 2.2 reliable-link axiom** — it
+    /// exists for robustness experiments beyond the model (E17). The
+    /// protocol sees lost messages as estimation timeouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1)`.
+    pub fn set_loss_probability(&mut self, p: f64) {
+        assert!((0.0..1.0).contains(&p), "loss probability must be in [0, 1)");
+        self.loss_probability = p;
+    }
+
+    /// The message delivery bound δ.
+    pub fn delta(&self) -> SimDuration {
+        self.delta
+    }
+
+    /// The communication graph.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Administrative link control.
+    pub fn links_mut(&mut self) -> &mut LinkFilter {
+        &mut self.links
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Attempts to send a message from `from` to `to` at time `now`.
+    ///
+    /// On success the outcome carries the delivery time, strictly within
+    /// `(now, now + δ]` (or exactly `now` for zero-delay models).
+    pub fn send(
+        &mut self,
+        from: ProcId,
+        to: ProcId,
+        now: RealTime,
+        rng: &mut DetRng,
+    ) -> SendOutcome {
+        self.route(from, to, now, rng)
+    }
+
+    /// Sends adversary traffic claiming to originate from `claimed_from`.
+    ///
+    /// Routing and delay behave as if `claimed_from` had sent the message
+    /// (the adversary speaks *as* the corrupted processor). The runtime must
+    /// only call this for processors currently controlled by the adversary —
+    /// that is exactly the paper's authenticated-link axiom.
+    pub fn send_forged(
+        &mut self,
+        claimed_from: ProcId,
+        to: ProcId,
+        now: RealTime,
+        rng: &mut DetRng,
+    ) -> SendOutcome {
+        self.stats.forged += 1;
+        self.route(claimed_from, to, now, rng)
+    }
+
+    fn route(&mut self, from: ProcId, to: ProcId, now: RealTime, rng: &mut DetRng) -> SendOutcome {
+        if from == to {
+            self.stats.dropped += 1;
+            return SendOutcome::Dropped(DropReason::SelfSend);
+        }
+        if !self.topology.are_connected(from, to) {
+            self.stats.dropped += 1;
+            return SendOutcome::Dropped(DropReason::NotAdjacent);
+        }
+        if !self.links.is_up(from, to) {
+            self.stats.dropped += 1;
+            return SendOutcome::Dropped(DropReason::LinkDown);
+        }
+        if self.loss_probability > 0.0 && rng.chance(self.loss_probability) {
+            self.stats.dropped += 1;
+            return SendOutcome::Dropped(DropReason::Lost);
+        }
+        let delay = self.delays.sample(from, to, rng);
+        debug_assert!(
+            delay <= self.delta && !delay.is_negative(),
+            "sampled delay {delay} violates bound"
+        );
+        self.stats.delivered += 1;
+        SendOutcome::Delivered { at: now + delay }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::{ConstantDelay, UniformDelay};
+    use byzclock_sim::RngHub;
+
+    fn ms(x: f64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    fn rng() -> DetRng {
+        RngHub::new(17).stream("net-test", 0)
+    }
+
+    fn mesh_net(n: usize) -> Network {
+        Network::new(
+            Topology::full_mesh(n),
+            Box::new(ConstantDelay::new(ms(2.0))),
+            ms(10.0),
+        )
+    }
+
+    #[test]
+    fn delivers_with_sampled_delay() {
+        let mut net = mesh_net(3);
+        let out = net.send(ProcId(0), ProcId(1), RealTime::from_secs(1.0), &mut rng());
+        assert_eq!(
+            out.delivery_time().unwrap(),
+            RealTime::from_secs(1.0) + ms(2.0)
+        );
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn self_send_is_dropped() {
+        let mut net = mesh_net(3);
+        let out = net.send(ProcId(1), ProcId(1), RealTime::ZERO, &mut rng());
+        assert_eq!(out, SendOutcome::Dropped(DropReason::SelfSend));
+        assert_eq!(net.stats().dropped, 1);
+    }
+
+    #[test]
+    fn non_adjacent_is_dropped() {
+        let mut net = Network::new(
+            Topology::from_edges(3, &[(0, 1)]),
+            Box::new(ConstantDelay::new(ms(1.0))),
+            ms(10.0),
+        );
+        let out = net.send(ProcId(0), ProcId(2), RealTime::ZERO, &mut rng());
+        assert_eq!(out, SendOutcome::Dropped(DropReason::NotAdjacent));
+    }
+
+    #[test]
+    fn cut_link_drops_and_restore_heals() {
+        let mut net = mesh_net(3);
+        net.links_mut().cut(ProcId(0), ProcId(1));
+        let out = net.send(ProcId(0), ProcId(1), RealTime::ZERO, &mut rng());
+        assert_eq!(out, SendOutcome::Dropped(DropReason::LinkDown));
+        // symmetric
+        let out = net.send(ProcId(1), ProcId(0), RealTime::ZERO, &mut rng());
+        assert_eq!(out, SendOutcome::Dropped(DropReason::LinkDown));
+        // other links unaffected
+        assert!(net
+            .send(ProcId(0), ProcId(2), RealTime::ZERO, &mut rng())
+            .delivery_time()
+            .is_some());
+        net.links_mut().restore(ProcId(0), ProcId(1));
+        assert!(net
+            .send(ProcId(0), ProcId(1), RealTime::ZERO, &mut rng())
+            .delivery_time()
+            .is_some());
+    }
+
+    #[test]
+    fn partition_cuts_cross_traffic_only() {
+        let mut net = mesh_net(4);
+        net.links_mut()
+            .partition(&[ProcId(0), ProcId(1)], &[ProcId(2), ProcId(3)]);
+        assert!(net
+            .send(ProcId(0), ProcId(2), RealTime::ZERO, &mut rng())
+            .delivery_time()
+            .is_none());
+        assert!(net
+            .send(ProcId(0), ProcId(1), RealTime::ZERO, &mut rng())
+            .delivery_time()
+            .is_some());
+        net.links_mut().heal_all();
+        assert!(net
+            .send(ProcId(0), ProcId(2), RealTime::ZERO, &mut rng())
+            .delivery_time()
+            .is_some());
+        assert_eq!(net.links_mut().down_count(), 0);
+    }
+
+    #[test]
+    fn forged_traffic_counted() {
+        let mut net = mesh_net(3);
+        let out = net.send_forged(ProcId(2), ProcId(0), RealTime::ZERO, &mut rng());
+        assert!(out.delivery_time().is_some());
+        assert_eq!(net.stats().forged, 1);
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn delivery_within_delta_always() {
+        let delta = ms(10.0);
+        let mut net = Network::new(
+            Topology::full_mesh(4),
+            Box::new(UniformDelay::new(ms(0.5), ms(10.0))),
+            delta,
+        );
+        let mut r = rng();
+        let now = RealTime::from_secs(5.0);
+        for _ in 0..1000 {
+            if let Some(at) = net.send(ProcId(0), ProcId(1), now, &mut r).delivery_time() {
+                assert!(at > now && at <= now + delta);
+            }
+        }
+    }
+
+    #[test]
+    fn loss_probability_drops_fraction() {
+        let mut net = mesh_net(3);
+        net.set_loss_probability(0.5);
+        let mut r = rng();
+        let mut lost = 0;
+        let total = 2000;
+        for _ in 0..total {
+            if net
+                .send(ProcId(0), ProcId(1), RealTime::ZERO, &mut r)
+                .delivery_time()
+                .is_none()
+            {
+                lost += 1;
+            }
+        }
+        let frac = lost as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.05, "loss fraction {frac}");
+        assert_eq!(net.stats().dropped, lost);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn loss_probability_one_rejected() {
+        mesh_net(2).set_loss_probability(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds delta")]
+    fn delay_model_above_delta_rejected() {
+        Network::new(
+            Topology::full_mesh(2),
+            Box::new(ConstantDelay::new(ms(20.0))),
+            ms(10.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_delta_rejected() {
+        Network::new(
+            Topology::full_mesh(2),
+            Box::new(ConstantDelay::new(SimDuration::ZERO)),
+            SimDuration::ZERO,
+        );
+    }
+}

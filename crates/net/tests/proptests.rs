@@ -1,0 +1,126 @@
+//! Property-based tests for the network substrate.
+
+use byzclock_net::{ConstantDelay, Network, Topology, UniformDelay};
+use byzclock_sim::{ProcId, RealTime, RngHub, SimDuration};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every delivered message arrives within (now, now + δ] — the paper's
+    /// Section 2.2 axiom — for any uniform delay configuration.
+    #[test]
+    fn delivery_respects_delta(
+        seed in any::<u64>(),
+        n in 2usize..12,
+        min_frac in 0.0f64..1.0,
+        sends in 1usize..200,
+    ) {
+        let delta = SimDuration::from_millis(10.0);
+        let mut net = Network::new(
+            Topology::full_mesh(n),
+            Box::new(UniformDelay::new(delta * min_frac, delta)),
+            delta,
+        );
+        let mut rng = RngHub::new(seed).stream("prop-net", 0);
+        let now = RealTime::from_secs(5.0);
+        for i in 0..sends {
+            let from = ProcId((i % n) as u32);
+            let to = ProcId(((i + 1) % n) as u32);
+            let out = net.send(from, to, now, &mut rng);
+            let at = out.delivery_time().expect("mesh links deliver");
+            prop_assert!(at >= now && at <= now + delta);
+        }
+        prop_assert_eq!(net.stats().delivered, sends as u64);
+    }
+
+    /// Topology generators: Erdős–Rényi degrees are within range, the
+    /// adjacency matrix is symmetric and irreflexive.
+    #[test]
+    fn topology_is_symmetric_irreflexive(seed in any::<u64>(), n in 2usize..20, p in 0.0f64..1.0) {
+        let mut rng = RngHub::new(seed).stream("prop-topo", 0);
+        let t = Topology::erdos_renyi(n, p, &mut rng);
+        for a in 0..n as u32 {
+            prop_assert!(!t.are_connected(ProcId(a), ProcId(a)));
+            for b in 0..n as u32 {
+                prop_assert_eq!(
+                    t.are_connected(ProcId(a), ProcId(b)),
+                    t.are_connected(ProcId(b), ProcId(a))
+                );
+            }
+        }
+        prop_assert!(t.min_degree() < n);
+    }
+
+    /// Two-cliques structure holds for any f: node count, degree, and the
+    /// cut property (removing one clique leaves the other connected).
+    #[test]
+    fn two_cliques_structure_for_any_f(f in 1usize..5) {
+        let t = Topology::two_cliques(f);
+        let half = 3 * f + 1;
+        prop_assert_eq!(t.len(), 2 * half);
+        prop_assert_eq!(t.min_degree(), 3 * f + 1);
+        prop_assert!(t.is_connected());
+        let clique_a: Vec<ProcId> = (0..half as u32).map(ProcId).collect();
+        prop_assert!(t.is_connected_without(&clique_a));
+        // cross edges are exactly the matching
+        let mut cross = 0;
+        for i in 0..half as u32 {
+            for j in half as u32..(2 * half) as u32 {
+                if t.are_connected(ProcId(i), ProcId(j)) {
+                    cross += 1;
+                }
+            }
+        }
+        prop_assert_eq!(cross, half);
+    }
+
+    /// Link cuts are exact: cut pairs drop, everything else still delivers,
+    /// and healing restores every link.
+    #[test]
+    fn link_filter_cut_restore(
+        seed in any::<u64>(),
+        n in 3usize..8,
+        cut_pairs in proptest::collection::vec((0u32..8, 0u32..8), 0..10),
+    ) {
+        let delta = SimDuration::from_millis(5.0);
+        let mut net = Network::new(
+            Topology::full_mesh(n),
+            Box::new(ConstantDelay::new(delta)),
+            delta,
+        );
+        let mut rng = RngHub::new(seed).stream("prop-link", 0);
+        let cuts: Vec<(ProcId, ProcId)> = cut_pairs
+            .into_iter()
+            .map(|(a, b)| (ProcId(a % n as u32), ProcId(b % n as u32)))
+            .filter(|(a, b)| a != b)
+            .collect();
+        for (a, b) in &cuts {
+            net.links_mut().cut(*a, *b);
+        }
+        let now = RealTime::ZERO;
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                if a == b {
+                    continue;
+                }
+                let pa = ProcId(a);
+                let pb = ProcId(b);
+                let is_cut = cuts.iter().any(|(x, y)| {
+                    (*x == pa && *y == pb) || (*x == pb && *y == pa)
+                });
+                let delivered = net.send(pa, pb, now, &mut rng).delivery_time().is_some();
+                prop_assert_eq!(delivered, !is_cut);
+            }
+        }
+        net.links_mut().heal_all();
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                if a != b {
+                    prop_assert!(net
+                        .send(ProcId(a), ProcId(b), now, &mut rng)
+                        .delivery_time()
+                        .is_some());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The event alphabet of the simulation world.
+
+use byzclock_clock::LocalTime;
+use byzclock_core::{TimerKind, WireMessage};
+use byzclock_sim::ProcId;
+
+/// Everything that can be scheduled on the world's real-time axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEvent {
+    /// Start (or restart) a node's protocol instance.
+    StartNode {
+        /// The node to start.
+        node: ProcId,
+    },
+    /// Deliver a message.
+    Deliver {
+        /// Recipient.
+        to: ProcId,
+        /// Claimed sender.
+        from: ProcId,
+        /// Payload.
+        msg: WireMessage,
+    },
+    /// A node's local-time alarm fires.
+    NodeTimer {
+        /// Whose alarm.
+        node: ProcId,
+        /// Timer generation at scheduling (stale generations are ignored —
+        /// corruption bumps the generation to cancel all pending alarms).
+        generation: u64,
+        /// Which protocol timer.
+        kind: TimerKind,
+        /// The local-clock target the alarm was armed for (used to drop
+        /// superseded reschedules after drift changes).
+        target_local: LocalTime,
+    },
+    /// A node's hardware clock changes rate (drift model step). The event
+    /// is scheduled at the change instant and carries the rate to apply.
+    DriftChange {
+        /// Whose clock.
+        node: ProcId,
+        /// The new tick rate.
+        new_rate: f64,
+    },
+    /// The adversary breaks into a processor.
+    Corrupt {
+        /// The victim.
+        node: ProcId,
+    },
+    /// The adversary leaves a processor (recovery begins).
+    Release {
+        /// The recovering processor.
+        node: ProcId,
+    },
+    /// A bidirectional link goes down (transient network fault).
+    LinkCut {
+        /// One endpoint.
+        a: ProcId,
+        /// The other endpoint.
+        b: ProcId,
+    },
+    /// A previously cut link comes back up.
+    LinkRestore {
+        /// One endpoint.
+        a: ProcId,
+        /// The other endpoint.
+        b: ProcId,
+    },
+    /// Metrics sampling tick.
+    Sample,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_comparable() {
+        let a = SimEvent::Sample;
+        let b = SimEvent::Corrupt { node: ProcId(1) };
+        assert_ne!(a, b);
+        assert_eq!(
+            SimEvent::StartNode { node: ProcId(2) },
+            SimEvent::StartNode { node: ProcId(2) }
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Observation hooks: how metrics get out of a running world.
+//!
+//! The world notifies registered [`Observer`]s on periodic samples, on
+//! every clock adjustment, and on corruption/release transitions. A
+//! [`WorldSample`] snapshot carries, per processor: the bias, whether it is
+//! *currently* corrupted, and whether it is *good* in the sense of
+//! Definition 3(i) — non-faulty during the whole `[τ−Δ, τ]` window — which
+//! is the set over which the paper's deviation guarantee is stated.
+
+use byzclock_clock::Bias;
+use byzclock_sim::{ProcId, RealTime};
+use serde::{Deserialize, Serialize};
+
+/// A periodic snapshot of all clock biases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldSample {
+    /// Real time of the snapshot.
+    pub tau: RealTime,
+    /// Bias `B_p(τ)` per processor.
+    pub biases: Vec<Bias>,
+    /// Currently-corrupted flags.
+    pub corrupt: Vec<bool>,
+    /// Definition 3(i) "good" flags (non-faulty during `[τ−Δ, τ]`).
+    pub good: Vec<bool>,
+}
+
+impl WorldSample {
+    /// Maximum pairwise deviation `|C_p − C_q|` over good processors;
+    /// `None` if fewer than two are good.
+    pub fn good_deviation(&self) -> Option<f64> {
+        let good: Vec<f64> = self
+            .biases
+            .iter()
+            .zip(&self.good)
+            .filter(|(_, g)| **g)
+            .map(|(b, _)| b.as_secs())
+            .collect();
+        if good.len() < 2 {
+            return None;
+        }
+        let lo = good.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = good.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Some(hi - lo)
+    }
+
+    /// `(min, max)` bias over good processors, if any.
+    pub fn good_bias_range(&self) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut any = false;
+        for (b, g) in self.biases.iter().zip(&self.good) {
+            if *g {
+                any = true;
+                lo = lo.min(b.as_secs());
+                hi = hi.max(b.as_secs());
+            }
+        }
+        any.then_some((lo, hi))
+    }
+
+    /// Number of good processors.
+    pub fn good_count(&self) -> usize {
+        self.good.iter().filter(|g| **g).count()
+    }
+
+    /// Bias of one processor.
+    pub fn bias_of(&self, p: ProcId) -> Bias {
+        self.biases[p.index()]
+    }
+}
+
+/// Callbacks invoked by the running world. All methods have empty defaults
+/// so observers implement only what they need.
+pub trait Observer {
+    /// Periodic snapshot (at the world's sampling interval).
+    fn on_sample(&mut self, sample: &WorldSample) {
+        let _ = sample;
+    }
+
+    /// A node applied a clock adjustment of `delta` seconds. `good` is the
+    /// Definition 3(i) flag at that moment (discontinuity is only bounded
+    /// for good processors).
+    fn on_adjustment(&mut self, node: ProcId, delta: f64, tau: RealTime, good: bool) {
+        let _ = (node, delta, tau, good);
+    }
+
+    /// The adversary broke into `node`.
+    fn on_corrupt(&mut self, node: ProcId, tau: RealTime) {
+        let _ = (node, tau);
+    }
+
+    /// The adversary released `node`.
+    fn on_release(&mut self, node: ProcId, tau: RealTime) {
+        let _ = (node, tau);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WorldSample {
+        WorldSample {
+            tau: RealTime::from_secs(10.0),
+            biases: vec![
+                Bias::from_secs(0.01),
+                Bias::from_secs(-0.02),
+                Bias::from_secs(0.03),
+                Bias::from_secs(99.0),
+            ],
+            corrupt: vec![false, false, false, true],
+            good: vec![true, true, true, false],
+        }
+    }
+
+    #[test]
+    fn good_deviation_ignores_bad_processors() {
+        let s = sample();
+        assert!((s.good_deviation().unwrap() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn good_bias_range() {
+        let s = sample();
+        let (lo, hi) = s.good_bias_range().unwrap();
+        assert_eq!(lo, -0.02);
+        assert_eq!(hi, 0.03);
+    }
+
+    #[test]
+    fn deviation_none_when_too_few_good() {
+        let mut s = sample();
+        s.good = vec![true, false, false, false];
+        assert!(s.good_deviation().is_none());
+        assert_eq!(s.good_count(), 1);
+        // range still defined for a single good node
+        assert_eq!(s.good_bias_range().unwrap(), (0.01, 0.01));
+        s.good = vec![false; 4];
+        assert!(s.good_bias_range().is_none());
+    }
+
+    #[test]
+    fn bias_of_indexes() {
+        let s = sample();
+        assert_eq!(s.bias_of(ProcId(3)).as_secs(), 99.0);
+    }
+
+    #[test]
+    fn observer_defaults_are_noops() {
+        struct Nop;
+        impl Observer for Nop {}
+        let mut o = Nop;
+        o.on_sample(&sample());
+        o.on_adjustment(ProcId(0), 0.1, RealTime::ZERO, true);
+        o.on_corrupt(ProcId(0), RealTime::ZERO);
+        o.on_release(ProcId(0), RealTime::ZERO);
+    }
+}

@@ -1,0 +1,777 @@
+//! The simulation world: event loop and substrate glue.
+//!
+//! The world owns one [`Engine`] on the real-time axis and, per processor,
+//! a [`LogicalClock`], a drift model and a [`SyncNode`]. It executes the
+//! node's [`Output`]s (sends through the [`Network`], local-time alarms
+//! converted exactly to real-time events, clock adjustments applied to
+//! `adj_p`), routes traffic addressed to corrupted processors through the
+//! [`Adversary`], and notifies [`Observer`]s.
+//!
+//! ## Local alarms under drift
+//!
+//! `SetTimer { after }` means *local* time units. The world computes the
+//! exact real time at which the node's logical clock reaches
+//! `local_now + after` using the current hardware rate, and whenever a
+//! drift model changes the rate it cancels and recomputes every pending
+//! alarm of that node. Alarms carry a per-node generation number;
+//! corruption bumps the generation, atomically cancelling all pending
+//! alarms (the adversary may have destroyed the "thread" that would
+//! re-arm them — the paper's recovery discussion), and
+//! [`Input::Start`] on release re-arms everything.
+
+use byzclock_adversary::{Adversary, AttackReply, ClockSabotage};
+use byzclock_clock::{DriftModel, LocalTime, LogicalClock};
+use byzclock_core::{Input, Output, SyncNode, TimerKind, WireMessage};
+use byzclock_net::Network;
+use byzclock_sim::queue::EventId;
+use byzclock_sim::{DetRng, Engine, ProcId, RealTime, SimDuration, TraceBuffer, TraceLevel};
+
+use crate::builder::Discipline;
+use crate::events::SimEvent;
+use crate::observer::{Observer, WorldSample};
+
+#[derive(Debug)]
+struct PendingTimer {
+    engine_id: EventId,
+    kind: TimerKind,
+    target_local: LocalTime,
+}
+
+pub(crate) struct NodeSlot {
+    pub(crate) clock: LogicalClock,
+    pub(crate) node: SyncNode,
+    pub(crate) drift: Box<dyn DriftModel>,
+    pub(crate) drift_rng: DetRng,
+    pub(crate) corruption_depth: u32,
+    timer_gen: u64,
+    pending: Vec<PendingTimer>,
+}
+
+impl NodeSlot {
+    pub(crate) fn new(
+        clock: LogicalClock,
+        node: SyncNode,
+        drift: Box<dyn DriftModel>,
+        drift_rng: DetRng,
+    ) -> Self {
+        NodeSlot {
+            clock,
+            node,
+            drift,
+            drift_rng,
+            corruption_depth: 0,
+            timer_gen: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    fn corrupted(&self) -> bool {
+        self.corruption_depth > 0
+    }
+}
+
+/// The running simulation.
+///
+/// Construct via [`WorldBuilder`](crate::builder::WorldBuilder).
+pub struct World {
+    pub(crate) engine: Engine<SimEvent>,
+    pub(crate) nodes: Vec<NodeSlot>,
+    pub(crate) network: Network,
+    pub(crate) adversary: Adversary,
+    pub(crate) big_delta: SimDuration,
+    pub(crate) sample_interval: Option<SimDuration>,
+    pub(crate) net_rng: DetRng,
+    pub(crate) adv_rng: DetRng,
+    pub(crate) observers: Vec<Box<dyn Observer>>,
+    pub(crate) way_off: f64,
+    pub(crate) params: byzclock_core::ProtocolParams,
+    pub(crate) bounds: Option<byzclock_core::TheoremBounds>,
+    pub(crate) trace: TraceBuffer,
+    pub(crate) discipline: Discipline,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.engine.now())
+            .field("n", &self.nodes.len())
+            .field("pending_events", &self.engine.pending())
+            .finish()
+    }
+}
+
+impl World {
+    /// Current simulated real time.
+    pub fn now(&self) -> RealTime {
+        self.engine.now()
+    }
+
+    /// Number of processors.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The protocol parameters every node runs with.
+    pub fn params(&self) -> &byzclock_core::ProtocolParams {
+        &self.params
+    }
+
+    /// The Theorem 5 bounds for this configuration, when the parameters
+    /// were derived from a [`NetworkModel`](byzclock_core::NetworkModel)
+    /// (absent for hand-set parameters).
+    pub fn bounds(&self) -> Option<&byzclock_core::TheoremBounds> {
+        self.bounds.as_ref()
+    }
+
+    /// The adversary's time period Δ this world measures goodness against.
+    pub fn big_delta(&self) -> SimDuration {
+        self.big_delta
+    }
+
+    /// Registers an observer (before or between runs).
+    pub fn add_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observers.push(observer);
+    }
+
+    /// The structured trace of notable events (corruptions, releases,
+    /// link transitions, node restarts).
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// The network traffic statistics.
+    pub fn network_stats(&self) -> &byzclock_net::NetworkStats {
+        self.network.stats()
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.engine.processed()
+    }
+
+    /// True iff `p` is currently controlled by the adversary.
+    pub fn is_corrupt(&self, p: ProcId) -> bool {
+        self.nodes[p.index()].corrupted()
+    }
+
+    /// Total corruption episodes in the adversary's schedule (the mobile
+    /// adversary's cumulative fault count, typically ≫ n).
+    pub fn corruption_episodes(&self) -> usize {
+        self.adversary.schedule().episode_count()
+    }
+
+    /// Sync rounds completed by `p`.
+    pub fn rounds_completed(&self, p: ProcId) -> u64 {
+        self.nodes[p.index()].node.rounds_completed()
+    }
+
+    /// Bias of `p`'s clock right now.
+    pub fn bias_of(&self, p: ProcId) -> byzclock_clock::Bias {
+        self.nodes[p.index()].clock.bias(self.now())
+    }
+
+    /// Snapshot of all biases, corruption and goodness flags.
+    pub fn sample_now(&self) -> WorldSample {
+        let tau = self.now();
+        let biases = self.nodes.iter().map(|s| s.clock.bias(tau)).collect();
+        let corrupt = self.nodes.iter().map(|s| s.corrupted()).collect();
+        let good = (0..self.nodes.len())
+            .map(|i| self.adversary.good_at(ProcId(i as u32), tau, self.big_delta))
+            .collect();
+        WorldSample {
+            tau,
+            biases,
+            corrupt,
+            good,
+        }
+    }
+
+    /// Runs the event loop until simulated time `deadline`.
+    pub fn run_until(&mut self, deadline: RealTime) {
+        while let Some((tau, event)) = self.engine.pop_until(deadline) {
+            self.dispatch(tau, event);
+        }
+    }
+
+    /// Runs for `span` more simulated time.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now() + span;
+        self.run_until(deadline);
+    }
+
+    fn dispatch(&mut self, tau: RealTime, event: SimEvent) {
+        match event {
+            SimEvent::StartNode { node } => self.start_node(node),
+            SimEvent::Deliver { to, from, msg } => self.deliver(tau, to, from, msg),
+            SimEvent::NodeTimer {
+                node,
+                generation,
+                kind,
+                target_local,
+            } => self.node_timer(node, generation, kind, target_local),
+            SimEvent::DriftChange { node, new_rate } => self.drift_change(tau, node, new_rate),
+            SimEvent::Corrupt { node } => self.corrupt(tau, node),
+            SimEvent::Release { node } => self.release(tau, node),
+            SimEvent::LinkCut { a, b } => {
+                self.trace
+                    .record(tau, TraceLevel::Info, "net", format!("link {a}-{b} cut"));
+                self.network.links_mut().cut(a, b)
+            }
+            SimEvent::LinkRestore { a, b } => {
+                self.trace.record(
+                    tau,
+                    TraceLevel::Info,
+                    "net",
+                    format!("link {a}-{b} restored"),
+                );
+                self.network.links_mut().restore(a, b)
+            }
+            SimEvent::Sample => self.sample_tick(),
+        }
+    }
+
+    fn start_node(&mut self, node: ProcId) {
+        if self.nodes[node.index()].corrupted() {
+            return; // corrupted at its start time; Release will restart it
+        }
+        let local_now = self.local_now(node);
+        let outputs = self.nodes[node.index()]
+            .node
+            .handle(Input::Start { local_now });
+        self.apply_outputs(node, outputs);
+    }
+
+    fn local_now(&self, node: ProcId) -> LocalTime {
+        self.nodes[node.index()].clock.read(self.now())
+    }
+
+    fn deliver(&mut self, tau: RealTime, to: ProcId, from: ProcId, msg: WireMessage) {
+        if self.nodes[to.index()].corrupted() {
+            self.adversary_receives(tau, to, from, msg);
+            return;
+        }
+        let local_now = self.local_now(to);
+        let outputs = self.nodes[to.index()].node.handle(Input::Message {
+            from,
+            msg,
+            local_now,
+        });
+        self.apply_outputs(to, outputs);
+    }
+
+    /// A corrupted node received a message: the adversary decides.
+    fn adversary_receives(&mut self, tau: RealTime, victim: ProcId, from: ProcId, msg: WireMessage) {
+        let WireMessage::Ping { round, nonce } = msg else {
+            return; // the adversary has no use for pongs to its victims
+        };
+        // Omniscient context: good-bias range over currently honest nodes.
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut any = false;
+        for (i, slot) in self.nodes.iter().enumerate() {
+            if !slot.corrupted() {
+                let b = slot.clock.bias(tau).as_secs();
+                lo = lo.min(b);
+                hi = hi.max(b);
+                any = true;
+                let _ = i;
+            }
+        }
+        let ctx = Adversary::context(
+            victim,
+            from,
+            tau,
+            self.nodes[victim.index()].clock.read(tau),
+            Some(self.nodes[from.index()].clock.bias(tau)),
+            any.then_some((lo, hi)),
+            self.way_off,
+        );
+        match self.adversary.reply_to_ping(&ctx, &mut self.adv_rng) {
+            AttackReply::Silent => {}
+            AttackReply::Clock(clock) => {
+                let pong = WireMessage::Pong {
+                    round,
+                    nonce,
+                    clock,
+                };
+                if let Some(at) = self
+                    .network
+                    .send_forged(victim, from, tau, &mut self.net_rng)
+                    .delivery_time()
+                {
+                    self.engine.schedule_at(
+                        at,
+                        SimEvent::Deliver {
+                            to: from,
+                            from: victim,
+                            msg: pong,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn node_timer(
+        &mut self,
+        node: ProcId,
+        generation: u64,
+        kind: TimerKind,
+        target_local: LocalTime,
+    ) {
+        let slot = &mut self.nodes[node.index()];
+        if slot.corrupted() || slot.timer_gen != generation {
+            return;
+        }
+        // Drop superseded alarms (rescheduled after a drift change).
+        let Some(pos) = slot
+            .pending
+            .iter()
+            .position(|p| p.kind == kind && p.target_local == target_local)
+        else {
+            return;
+        };
+        slot.pending.swap_remove(pos);
+        let local_now = self.local_now(node);
+        let outputs = self.nodes[node.index()].node.handle(Input::TimerFired {
+            timer: kind,
+            local_now,
+        });
+        self.apply_outputs(node, outputs);
+    }
+
+    fn drift_change(&mut self, tau: RealTime, node: ProcId, new_rate: f64) {
+        let slot = &mut self.nodes[node.index()];
+        debug_assert!(
+            new_rate > 0.0,
+            "drift model produced non-positive rate {new_rate}"
+        );
+        slot.clock.hardware_mut().set_rate(tau, new_rate);
+        if let Some((when, next_rate)) = slot.drift.next_change(tau, &mut slot.drift_rng) {
+            self.engine.schedule_at(
+                when,
+                SimEvent::DriftChange {
+                    node,
+                    new_rate: next_rate,
+                },
+            );
+        }
+        self.reschedule_pending_timers(tau, node);
+    }
+
+    fn reschedule_pending_timers(&mut self, tau: RealTime, node: ProcId) {
+        let idx = node.index();
+        let gen = self.nodes[idx].timer_gen;
+        let pending: Vec<(TimerKind, LocalTime)> = self.nodes[idx]
+            .pending
+            .iter()
+            .map(|p| (p.kind, p.target_local))
+            .collect();
+        for p in std::mem::take(&mut self.nodes[idx].pending) {
+            self.engine.cancel(p.engine_id);
+        }
+        for (kind, target_local) in pending {
+            let real_at = self.real_time_for_local_target(node, tau, target_local);
+            let engine_id = self.engine.schedule_at(
+                real_at.max(tau),
+                SimEvent::NodeTimer {
+                    node,
+                    generation: gen,
+                    kind,
+                    target_local,
+                },
+            );
+            self.nodes[idx].pending.push(PendingTimer {
+                engine_id,
+                kind,
+                target_local,
+            });
+        }
+    }
+
+    /// Exact real time at which `node`'s *logical* clock reaches `target`
+    /// (slew-aware: the logical clock is piecewise linear).
+    fn real_time_for_local_target(
+        &self,
+        node: ProcId,
+        tau: RealTime,
+        target: LocalTime,
+    ) -> RealTime {
+        self.nodes[node.index()]
+            .clock
+            .real_time_reaching_logical(tau, target)
+    }
+
+    fn corrupt(&mut self, tau: RealTime, node: ProcId) {
+        let idx = node.index();
+        self.nodes[idx].corruption_depth += 1;
+        if self.nodes[idx].corruption_depth > 1 {
+            return; // overlapping episodes: already under control
+        }
+        // Cancel all pending alarms: the adversary wipes protocol state.
+        self.nodes[idx].timer_gen += 1;
+        for p in std::mem::take(&mut self.nodes[idx].pending) {
+            self.engine.cancel(p.engine_id);
+        }
+        match self.adversary.on_corrupt(node, &mut self.adv_rng) {
+            ClockSabotage::None => {
+                self.trace
+                    .record(tau, TraceLevel::Warn, "adversary", format!("corrupt {node}"));
+            }
+            ClockSabotage::SetBias(b) => {
+                let target = LocalTime::from_secs(tau.as_secs() + b);
+                self.nodes[idx].clock.sabotage_to(tau, target);
+                self.trace.record(
+                    tau,
+                    TraceLevel::Warn,
+                    "adversary",
+                    format!("corrupt {node}, clock reset to bias {b:+.6}s"),
+                );
+            }
+        }
+        self.notify(|o| o.on_corrupt(node, tau));
+    }
+
+    fn release(&mut self, tau: RealTime, node: ProcId) {
+        let idx = node.index();
+        debug_assert!(
+            self.nodes[idx].corruption_depth > 0,
+            "release without matching corrupt"
+        );
+        self.nodes[idx].corruption_depth -= 1;
+        if self.nodes[idx].corruption_depth > 0 {
+            return;
+        }
+        self.trace
+            .record(tau, TraceLevel::Warn, "adversary", format!("release {node}"));
+        self.notify(|o| o.on_release(node, tau));
+        // Recovery: the processor reboots its protocol with whatever clock
+        // the adversary left behind.
+        let local_now = self.local_now(node);
+        let outputs = self.nodes[idx].node.handle(Input::Start { local_now });
+        self.apply_outputs(node, outputs);
+    }
+
+    fn sample_tick(&mut self) {
+        let sample = self.sample_now();
+        self.notify(|o| o.on_sample(&sample));
+        if let Some(interval) = self.sample_interval {
+            self.engine.schedule_after(interval, SimEvent::Sample);
+        }
+    }
+
+    fn apply_outputs(&mut self, node: ProcId, outputs: Vec<Output>) {
+        let tau = self.now();
+        for output in outputs {
+            match output {
+                Output::Send { to, msg } => {
+                    if let Some(at) = self
+                        .network
+                        .send(node, to, tau, &mut self.net_rng)
+                        .delivery_time()
+                    {
+                        self.engine.schedule_at(
+                            at,
+                            SimEvent::Deliver {
+                                to,
+                                from: node,
+                                msg,
+                            },
+                        );
+                    }
+                }
+                Output::SetTimer { after, kind } => {
+                    self.schedule_local_timer(node, after, kind);
+                }
+                Output::AdjustClock { delta } => {
+                    match self.discipline {
+                        Discipline::Step => {
+                            self.nodes[node.index()].clock.adjust(delta);
+                        }
+                        Discipline::Slew { max_rate } => {
+                            self.nodes[node.index()].clock.slew(tau, delta, max_rate);
+                            // the logical trajectory changed slope: pending
+                            // alarms must be recomputed (slew-aware)
+                            self.reschedule_pending_timers(tau, node);
+                        }
+                    }
+                    let good = self.adversary.good_at(node, tau, self.big_delta);
+                    self.notify(|o| o.on_adjustment(node, delta.as_secs(), tau, good));
+                }
+                Output::RoundCompleted(_) => {}
+            }
+        }
+    }
+
+    fn schedule_local_timer(&mut self, node: ProcId, after: SimDuration, kind: TimerKind) {
+        let tau = self.now();
+        let idx = node.index();
+        let target_local = self.nodes[idx].clock.read(tau) + after;
+        let real_at = self.real_time_for_local_target(node, tau, target_local);
+        let gen = self.nodes[idx].timer_gen;
+        let engine_id = self.engine.schedule_at(
+            real_at.max(tau),
+            SimEvent::NodeTimer {
+                node,
+                generation: gen,
+                kind,
+                target_local,
+            },
+        );
+        self.nodes[idx].pending.push(PendingTimer {
+            engine_id,
+            kind,
+            target_local,
+        });
+    }
+
+    fn notify(&mut self, mut f: impl FnMut(&mut Box<dyn Observer>)) {
+        let mut observers = std::mem::take(&mut self.observers);
+        for o in &mut observers {
+            f(o);
+        }
+        debug_assert!(self.observers.is_empty(), "observer added during notify");
+        self.observers = observers;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::{DriftSpec, InitialBias, WorldBuilder};
+    use byzclock_adversary::{Adversary, ConstantOffsetStrategy, CorruptionSchedule};
+    use byzclock_sim::{ProcId, RealTime, SimDuration};
+
+    fn t(s: f64) -> RealTime {
+        RealTime::from_secs(s)
+    }
+    fn d(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn quiet_world(seed: u64) -> crate::World {
+        WorldBuilder::new(4, 1)
+            .seed(seed)
+            .delta(SimDuration::from_millis(10.0))
+            .big_delta(d(40.0)) // T = 5 s: fast cadence for short tests
+            .initial_bias_spread(0.5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn quiet_world_converges() {
+        let mut w = quiet_world(1);
+        let before = w.sample_now().good_deviation().unwrap();
+        w.run_until(t(120.0));
+        let after = w.sample_now().good_deviation().unwrap();
+        assert!(before > 0.1, "initial spread should be large: {before}");
+        assert!(
+            after < 0.05,
+            "deviation should shrink dramatically: {before} -> {after}"
+        );
+        // everyone ran rounds
+        for p in 0..4 {
+            assert!(w.rounds_completed(ProcId(p)) > 3);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = |seed: u64| {
+            let mut w = quiet_world(seed);
+            w.run_until(t(60.0));
+            (
+                w.sample_now().biases,
+                w.events_processed(),
+                w.network_stats().delivered,
+            )
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0);
+    }
+
+    #[test]
+    fn corrupted_node_recovers() {
+        // p3's clock is reset 50 s off; after release it must rejoin.
+        let schedule = CorruptionSchedule::single(ProcId(3), t(30.0), d(5.0));
+        let adversary = Adversary::new(schedule, Box::new(ConstantOffsetStrategy::new(50.0)));
+        let mut w = WorldBuilder::new(4, 1)
+            .seed(3)
+            .delta(SimDuration::from_millis(10.0))
+            .adversary(adversary)
+            .big_delta(d(120.0))
+            .build()
+            .unwrap();
+        w.run_until(t(34.0));
+        // while corrupted, the sabotaged clock is way off
+        assert!(w.bias_of(ProcId(3)).abs_secs() > 1.0);
+        w.run_until(t(120.0));
+        let sample = w.sample_now();
+        assert!(
+            sample.bias_of(ProcId(3)).abs_secs() < 0.05,
+            "recovered bias too large: {}",
+            sample.bias_of(ProcId(3))
+        );
+    }
+
+    #[test]
+    fn good_flag_clears_after_big_delta() {
+        let schedule = CorruptionSchedule::single(ProcId(2), t(10.0), d(5.0));
+        let adversary = Adversary::new(schedule, Box::new(ConstantOffsetStrategy::new(1.0)));
+        let mut w = WorldBuilder::new(4, 1)
+            .seed(9)
+            .delta(SimDuration::from_millis(10.0))
+            .adversary(adversary)
+            .big_delta(d(30.0))
+            .build()
+            .unwrap();
+        w.run_until(t(20.0));
+        let s = w.sample_now();
+        assert!(!s.good[2], "recently corrupted node is not good");
+        assert!(!s.corrupt[2], "but it is no longer controlled");
+        w.run_until(t(50.0));
+        assert!(w.sample_now().good[2], "good again after the window passes");
+    }
+
+    #[test]
+    fn drifting_clocks_stay_bounded_without_faults() {
+        let mut w = WorldBuilder::new(5, 1)
+            .seed(11)
+            .delta(SimDuration::from_millis(10.0))
+            .rho(1e-4)
+            .big_delta(d(160.0))
+            .drift(DriftSpec::ConstantRandomRate)
+            .build()
+            .unwrap();
+        w.run_until(t(300.0));
+        let dev = w.sample_now().good_deviation().unwrap();
+        assert!(dev < 0.05, "deviation {dev} too large under drift");
+    }
+
+    #[test]
+    fn no_sync_control_drifts_apart() {
+        use byzclock_core::NoOpConvergence;
+        let mut w = WorldBuilder::new(4, 1)
+            .seed(13)
+            .delta(SimDuration::from_millis(10.0))
+            .rho(1e-3)
+            .big_delta(d(160.0))
+            .drift(DriftSpec::ConstantRandomRate)
+            .convergence(Box::new(NoOpConvergence))
+            .build()
+            .unwrap();
+        w.run_until(t(1000.0));
+        let dev = w.sample_now().good_deviation().unwrap();
+        assert!(
+            dev > 0.2,
+            "without sync, 1e-3 drift over 1000 s should separate clocks: {dev}"
+        );
+    }
+
+    #[test]
+    fn explicit_initial_biases_are_applied() {
+        let w = WorldBuilder::new(4, 1)
+            .seed(1)
+            .initial_bias(InitialBias::Explicit(vec![0.1, -0.2, 0.0, 0.3]))
+            .build()
+            .unwrap();
+        let s = w.sample_now();
+        assert!((s.bias_of(ProcId(0)).as_secs() - 0.1).abs() < 1e-9);
+        assert!((s.bias_of(ProcId(1)).as_secs() + 0.2).abs() < 1e-9);
+        assert!((s.bias_of(ProcId(3)).as_secs() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observer_receives_samples_and_transitions() {
+        use crate::observer::{Observer, WorldSample};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Counts {
+            samples: usize,
+            corrupts: usize,
+            releases: usize,
+            adjustments: usize,
+        }
+        struct Probe(Rc<RefCell<Counts>>);
+        impl Observer for Probe {
+            fn on_sample(&mut self, _s: &WorldSample) {
+                self.0.borrow_mut().samples += 1;
+            }
+            fn on_adjustment(&mut self, _n: ProcId, _d: f64, _t: RealTime, _g: bool) {
+                self.0.borrow_mut().adjustments += 1;
+            }
+            fn on_corrupt(&mut self, _n: ProcId, _t: RealTime) {
+                self.0.borrow_mut().corrupts += 1;
+            }
+            fn on_release(&mut self, _n: ProcId, _t: RealTime) {
+                self.0.borrow_mut().releases += 1;
+            }
+        }
+
+        let counts = Rc::new(RefCell::new(Counts::default()));
+        let schedule = CorruptionSchedule::single(ProcId(1), t(5.0), d(2.0));
+        let adversary = Adversary::new(schedule, Box::new(ConstantOffsetStrategy::new(3.0)));
+        let mut w = WorldBuilder::new(4, 1)
+            .seed(2)
+            .big_delta(d(40.0))
+            .adversary(adversary)
+            .sample_interval(d(1.0))
+            .build()
+            .unwrap();
+        w.add_observer(Box::new(Probe(Rc::clone(&counts))));
+        w.run_until(t(30.0));
+        let c = counts.borrow();
+        assert!(c.samples >= 25, "samples: {}", c.samples);
+        assert_eq!(c.corrupts, 1);
+        assert_eq!(c.releases, 1);
+        assert!(c.adjustments > 0);
+    }
+
+    #[test]
+    fn network_stats_accumulate() {
+        let mut w = quiet_world(4);
+        w.run_until(t(30.0));
+        let stats = w.network_stats();
+        assert!(stats.delivered > 20, "delivered: {}", stats.delivered);
+        assert_eq!(stats.forged, 0);
+    }
+
+    #[test]
+    fn trace_records_corruption_lifecycle() {
+        let schedule = CorruptionSchedule::single(ProcId(1), t(5.0), d(2.0));
+        let adversary = Adversary::new(schedule, Box::new(ConstantOffsetStrategy::new(3.0)));
+        let mut w = WorldBuilder::new(4, 1)
+            .seed(31)
+            .big_delta(d(40.0))
+            .adversary(adversary)
+            .build()
+            .unwrap();
+        w.run_until(t(20.0));
+        let adv_events: Vec<String> = w
+            .trace()
+            .by_subsystem("adversary")
+            .map(|e| e.message.clone())
+            .collect();
+        assert_eq!(adv_events.len(), 2);
+        assert!(adv_events[0].contains("corrupt p1"));
+        assert!(adv_events[0].contains("clock reset"));
+        assert!(adv_events[1].contains("release p1"));
+    }
+
+    #[test]
+    fn forged_traffic_counted_under_attack() {
+        let schedule = CorruptionSchedule::single(ProcId(0), t(0.0), d(20.0));
+        let adversary = Adversary::new(schedule, Box::new(ConstantOffsetStrategy::new(2.0)));
+        let mut w = WorldBuilder::new(4, 1)
+            .seed(5)
+            .big_delta(d(40.0))
+            .adversary(adversary)
+            .build()
+            .unwrap();
+        w.run_until(t(15.0));
+        assert!(w.network_stats().forged > 0);
+        assert!(w.is_corrupt(ProcId(0)));
+    }
+}

@@ -1,0 +1,256 @@
+//! The simulation engine: an event queue plus a monotone clock.
+//!
+//! [`Engine`] owns the current simulated real time and the pending-event
+//! queue. It deliberately knows nothing about what events *mean* — higher
+//! layers define the payload type and interpret popped events. This keeps
+//! the engine reusable and trivially testable.
+
+use crate::queue::{EventId, EventQueue};
+use crate::time::{RealTime, SimDuration};
+
+/// Discrete-event simulation engine generic over the event payload `T`.
+///
+/// Time only moves forward: popping an event advances [`Engine::now`] to the
+/// event's timestamp. Scheduling in the past is a program error and panics,
+/// as it would silently reorder causality.
+///
+/// ```
+/// use byzclock_sim::{Engine, SimDuration};
+///
+/// let mut engine: Engine<u32> = Engine::new();
+/// engine.schedule_after(SimDuration::from_secs(1.0), 7);
+/// let (t, v) = engine.pop().unwrap();
+/// assert_eq!(v, 7);
+/// assert_eq!(engine.now(), t);
+/// ```
+#[derive(Debug)]
+pub struct Engine<T> {
+    queue: EventQueue<T>,
+    now: RealTime,
+    processed: u64,
+}
+
+impl<T> Default for Engine<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Engine<T> {
+    /// Creates an engine at time zero with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: RealTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated real time.
+    pub fn now(&self) -> RealTime {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending (live) events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an event at the absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`Engine::now`] — causality violation.
+    pub fn schedule_at(&mut self, at: RealTime, payload: T) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} < now={now}",
+            at = at,
+            now = self.now
+        );
+        self.queue.schedule(at, payload)
+    }
+
+    /// Schedules an event `after` from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `after` is negative or NaN-producing.
+    pub fn schedule_after(&mut self, after: SimDuration, payload: T) -> EventId {
+        assert!(
+            !after.is_negative(),
+            "cannot schedule a negative delay: {after}"
+        );
+        self.queue.schedule(self.now + after, payload)
+    }
+
+    /// Cancels a scheduled event; `true` if it was live.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Time of the next event without popping it.
+    pub fn peek_time(&mut self) -> Option<RealTime> {
+        self.queue.peek_time()
+    }
+
+    /// Pops the next event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(RealTime, T)> {
+        let (time, payload) = self.queue.pop()?;
+        debug_assert!(time >= self.now, "event queue returned stale time");
+        self.now = time;
+        self.processed += 1;
+        Some((time, payload))
+    }
+
+    /// Pops the next event only if it is scheduled at or before `deadline`;
+    /// otherwise advances `now` to `deadline` and returns `None`.
+    ///
+    /// This is the primitive for "run until τ" loops: after it returns
+    /// `None`, `now() == deadline` and no event before the deadline remains.
+    pub fn pop_until(&mut self, deadline: RealTime) -> Option<(RealTime, T)> {
+        match self.queue.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => {
+                if deadline > self.now {
+                    self.now = deadline;
+                }
+                None
+            }
+        }
+    }
+
+    /// Advances `now` to `deadline` without processing events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are pending before `deadline` (they would be skipped)
+    /// or if `deadline` is in the past.
+    pub fn advance_to(&mut self, deadline: RealTime) {
+        assert!(deadline >= self.now, "advance_to into the past");
+        if let Some(t) = self.queue.peek_time() {
+            assert!(
+                t > deadline,
+                "advance_to would skip a pending event at {t}"
+            );
+        }
+        self.now = deadline;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> RealTime {
+        RealTime::from_secs(s)
+    }
+    fn d(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn pop_advances_now() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule_at(t(5.0), "x");
+        assert_eq!(e.now(), RealTime::ZERO);
+        let (at, _) = e.pop().unwrap();
+        assert_eq!(at, t(5.0));
+        assert_eq!(e.now(), t(5.0));
+        assert_eq!(e.processed(), 1);
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut e: Engine<u8> = Engine::new();
+        e.schedule_at(t(10.0), 1);
+        e.pop().unwrap();
+        e.schedule_after(d(2.5), 2);
+        let (at, v) = e.pop().unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(at, t(12.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn schedule_in_past_panics() {
+        let mut e: Engine<u8> = Engine::new();
+        e.schedule_at(t(10.0), 1);
+        e.pop().unwrap();
+        e.schedule_at(t(5.0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn schedule_negative_delay_panics() {
+        let mut e: Engine<u8> = Engine::new();
+        e.schedule_after(d(-1.0), 1);
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut e: Engine<u8> = Engine::new();
+        e.schedule_at(t(1.0), 1);
+        e.schedule_at(t(3.0), 3);
+        assert_eq!(e.pop_until(t(2.0)).unwrap().1, 1);
+        assert!(e.pop_until(t(2.0)).is_none());
+        assert_eq!(e.now(), t(2.0));
+        // the later event is still pending
+        assert_eq!(e.pending(), 1);
+        assert_eq!(e.pop_until(t(4.0)).unwrap().1, 3);
+    }
+
+    #[test]
+    fn pop_until_on_empty_advances_to_deadline() {
+        let mut e: Engine<u8> = Engine::new();
+        assert!(e.pop_until(t(7.0)).is_none());
+        assert_eq!(e.now(), t(7.0));
+    }
+
+    #[test]
+    fn pop_until_never_rewinds_now() {
+        let mut e: Engine<u8> = Engine::new();
+        e.schedule_at(t(5.0), 1);
+        e.pop().unwrap();
+        assert!(e.pop_until(t(3.0)).is_none());
+        assert_eq!(e.now(), t(5.0));
+    }
+
+    #[test]
+    fn cancel_through_engine() {
+        let mut e: Engine<u8> = Engine::new();
+        let id = e.schedule_at(t(1.0), 1);
+        assert!(e.cancel(id));
+        assert!(e.pop().is_none());
+    }
+
+    #[test]
+    fn advance_to_moves_time() {
+        let mut e: Engine<u8> = Engine::new();
+        e.advance_to(t(9.0));
+        assert_eq!(e.now(), t(9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "skip")]
+    fn advance_to_refuses_to_skip_events() {
+        let mut e: Engine<u8> = Engine::new();
+        e.schedule_at(t(1.0), 1);
+        e.advance_to(t(2.0));
+    }
+
+    #[test]
+    fn deterministic_event_order_at_same_time() {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..50 {
+            e.schedule_at(t(1.0), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+}

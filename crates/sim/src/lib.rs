@@ -1,0 +1,55 @@
+//! Deterministic discrete-event simulation engine for the byzclock project.
+//!
+//! This crate is the lowest substrate of the reproduction of
+//! *"Clock Synchronization with Faults and Recoveries"* (Barak, Halevi,
+//! Herzberg, Naor — PODC 2000). The paper's analysis is carried out against
+//! real time `τ`; this crate provides that real-time axis, a cancellable
+//! event queue with fully deterministic tie-breaking, and labeled
+//! deterministic random-number streams so that an entire simulation is a
+//! pure function of its root seed.
+//!
+//! # Components
+//!
+//! * [`time`] — [`RealTime`] / [`SimDuration`] newtypes over `f64` seconds,
+//!   with total ordering and checked arithmetic helpers.
+//! * [`queue`] — [`EventQueue`], a binary-heap based priority queue with
+//!   O(log n) scheduling, lazy cancellation and deterministic FIFO ordering
+//!   of simultaneous events.
+//! * [`engine`] — [`Engine`], which owns the queue and the current
+//!   simulation time and drives event dispatch.
+//! * [`rng`] — [`RngHub`] / [`DetRng`], deterministic seeded RNG streams
+//!   forked by label so components cannot perturb each other's randomness.
+//! * [`trace`] — lightweight structured trace ring buffer for debugging
+//!   simulations and asserting on event sequences in tests.
+//!
+//! # Example
+//!
+//! ```
+//! use byzclock_sim::{Engine, RealTime, SimDuration};
+//!
+//! let mut engine: Engine<&'static str> = Engine::new();
+//! engine.schedule_after(SimDuration::from_secs(2.0), "world");
+//! engine.schedule_after(SimDuration::from_secs(1.0), "hello");
+//! let (t1, e1) = engine.pop().unwrap();
+//! let (t2, e2) = engine.pop().unwrap();
+//! assert_eq!((e1, e2), ("hello", "world"));
+//! assert_eq!(t1, RealTime::from_secs(1.0));
+//! assert_eq!(t2, RealTime::from_secs(2.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod ids;
+pub mod queue;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use engine::Engine;
+pub use ids::ProcId;
+pub use queue::{EventId, EventQueue};
+pub use rng::{DetRng, RngHub};
+pub use time::{RealTime, SimDuration};
+pub use trace::{TraceBuffer, TraceEvent, TraceLevel};

@@ -1,0 +1,258 @@
+//! Lightweight structured tracing for simulations.
+//!
+//! A bounded ring buffer of [`TraceEvent`]s. Observers (and tests) can filter
+//! by level or subsystem to assert on event sequences without parsing text
+//! logs. Tracing is entirely in-memory and allocation-light so enabling it in
+//! benches is harmless.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::RealTime;
+
+/// Severity / verbosity of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceLevel {
+    /// Fine-grained protocol internals (per-message).
+    Debug,
+    /// Notable state changes (sync rounds, adjustments).
+    Info,
+    /// Corruptions, releases, violations.
+    Warn,
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceLevel::Debug => "DEBUG",
+            TraceLevel::Info => "INFO",
+            TraceLevel::Warn => "WARN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time the event was recorded at.
+    pub at: RealTime,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Subsystem tag, e.g. `"net"`, `"sync"`, `"adversary"`.
+    pub subsystem: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{at} {level} {sub}] {msg}",
+            at = self.at,
+            level = self.level,
+            sub = self.subsystem,
+            msg = self.message
+        )
+    }
+}
+
+/// Bounded ring buffer of trace events.
+///
+/// ```
+/// use byzclock_sim::{RealTime, TraceBuffer, TraceLevel};
+///
+/// let mut buf = TraceBuffer::with_capacity(2);
+/// buf.record(RealTime::ZERO, TraceLevel::Info, "sync", "round 1".into());
+/// buf.record(RealTime::ZERO, TraceLevel::Info, "sync", "round 2".into());
+/// buf.record(RealTime::ZERO, TraceLevel::Info, "sync", "round 3".into());
+/// // capacity 2: the oldest event was evicted
+/// assert_eq!(buf.len(), 2);
+/// assert_eq!(buf.iter().next().unwrap().message, "round 2");
+/// ```
+#[derive(Debug)]
+pub struct TraceBuffer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    min_level: TraceLevel,
+    dropped: u64,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        Self::with_capacity(4096)
+    }
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace buffer capacity must be positive");
+        TraceBuffer {
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            min_level: TraceLevel::Debug,
+            dropped: 0,
+        }
+    }
+
+    /// Sets the minimum level recorded; events below it are counted but not
+    /// stored.
+    pub fn set_min_level(&mut self, level: TraceLevel) {
+        self.min_level = level;
+    }
+
+    /// Records an event (subject to the level filter and capacity bound).
+    pub fn record(
+        &mut self,
+        at: RealTime,
+        level: TraceLevel,
+        subsystem: &'static str,
+        message: String,
+    ) {
+        if level < self.min_level {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            at,
+            level,
+            subsystem,
+            message,
+        });
+    }
+
+    /// Number of stored events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True iff no events are stored.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events dropped by eviction or level filtering.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates stored events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Iterates events of a given subsystem.
+    pub fn by_subsystem<'a>(
+        &'a self,
+        subsystem: &'a str,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.subsystem == subsystem)
+    }
+
+    /// Clears all stored events (dropped count is preserved).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf() -> TraceBuffer {
+        TraceBuffer::with_capacity(8)
+    }
+
+    #[test]
+    fn records_and_iterates_in_order() {
+        let mut b = buf();
+        for i in 0..3 {
+            b.record(
+                RealTime::from_secs(i as f64),
+                TraceLevel::Info,
+                "t",
+                format!("e{i}"),
+            );
+        }
+        let msgs: Vec<&str> = b.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["e0", "e1", "e2"]);
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut b = TraceBuffer::with_capacity(2);
+        for i in 0..5 {
+            b.record(RealTime::ZERO, TraceLevel::Info, "t", format!("e{i}"));
+        }
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.dropped(), 3);
+        let msgs: Vec<&str> = b.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["e3", "e4"]);
+    }
+
+    #[test]
+    fn level_filter_drops_below_min() {
+        let mut b = buf();
+        b.set_min_level(TraceLevel::Warn);
+        b.record(RealTime::ZERO, TraceLevel::Debug, "t", "d".into());
+        b.record(RealTime::ZERO, TraceLevel::Info, "t", "i".into());
+        b.record(RealTime::ZERO, TraceLevel::Warn, "t", "w".into());
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.dropped(), 2);
+        assert_eq!(b.iter().next().unwrap().level, TraceLevel::Warn);
+    }
+
+    #[test]
+    fn by_subsystem_filters() {
+        let mut b = buf();
+        b.record(RealTime::ZERO, TraceLevel::Info, "net", "n1".into());
+        b.record(RealTime::ZERO, TraceLevel::Info, "sync", "s1".into());
+        b.record(RealTime::ZERO, TraceLevel::Info, "net", "n2".into());
+        let net: Vec<&str> = b.by_subsystem("net").map(|e| e.message.as_str()).collect();
+        assert_eq!(net, vec!["n1", "n2"]);
+    }
+
+    #[test]
+    fn clear_preserves_dropped_count() {
+        let mut b = TraceBuffer::with_capacity(1);
+        b.record(RealTime::ZERO, TraceLevel::Info, "t", "a".into());
+        b.record(RealTime::ZERO, TraceLevel::Info, "t", "b".into());
+        assert_eq!(b.dropped(), 1);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.dropped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        TraceBuffer::with_capacity(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent {
+            at: RealTime::from_secs(1.0),
+            level: TraceLevel::Warn,
+            subsystem: "adv",
+            message: "corrupt p3".into(),
+        };
+        assert_eq!(format!("{e}"), "[1.000000s WARN adv] corrupt p3");
+    }
+
+    #[test]
+    fn level_ordering() {
+        assert!(TraceLevel::Debug < TraceLevel::Info);
+        assert!(TraceLevel::Info < TraceLevel::Warn);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the simulation substrate.
+
+use byzclock_sim::{Engine, EventQueue, RealTime, RngHub, SimDuration};
+use proptest::prelude::*;
+
+/// Operations we drive the queue with.
+#[derive(Debug, Clone)]
+enum Op {
+    Schedule(f64),
+    CancelNth(usize),
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0.0f64..1000.0).prop_map(Op::Schedule),
+        (0usize..64).prop_map(Op::CancelNth),
+        Just(Op::Pop),
+    ]
+}
+
+proptest! {
+    /// Under any interleaving of schedule/cancel/pop, pops come out in
+    /// non-decreasing time order, cancelled events never surface, and the
+    /// length bookkeeping stays exact.
+    #[test]
+    fn queue_ordering_and_len_invariants(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        let mut live = std::collections::HashMap::new(); // payload -> time
+        let mut cancelled = std::collections::HashSet::new();
+        let mut counter = 0u64;
+        for op in ops {
+            match op {
+                Op::Schedule(t) => {
+                    let id = q.schedule(RealTime::from_secs(t), counter);
+                    ids.push(id);
+                    live.insert(counter, t);
+                    counter += 1;
+                }
+                Op::CancelNth(i) => {
+                    if !ids.is_empty() {
+                        let id = ids[i % ids.len()];
+                        let was_live = q.cancel(id);
+                        if was_live {
+                            // map our payload (same index) as cancelled
+                            let payload = (id.as_u64()) as u64;
+                            cancelled.insert(payload);
+                            live.remove(&payload);
+                        }
+                    }
+                }
+                Op::Pop => {
+                    if let Some((t, payload)) = q.pop() {
+                        // the pop must be the earliest currently-live event
+                        let min_live = live
+                            .values()
+                            .cloned()
+                            .fold(f64::INFINITY, f64::min);
+                        prop_assert!(t.as_secs() <= min_live + 1e-12,
+                            "pop {} skipped earlier event {}", t.as_secs(), min_live);
+                        prop_assert!(!cancelled.contains(&payload),
+                            "cancelled event surfaced");
+                        prop_assert!(live.remove(&payload).is_some(),
+                            "popped unknown or double-popped event");
+                    } else {
+                        prop_assert!(live.is_empty(), "pop returned None with live events");
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), live.len(), "len bookkeeping diverged");
+        }
+        // drain: everything still live must come out, in order
+        let mut remaining: Vec<f64> = Vec::new();
+        while let Some((t, payload)) = q.pop() {
+            prop_assert!(live.remove(&payload).is_some());
+            remaining.push(t.as_secs());
+        }
+        prop_assert!(live.is_empty(), "events lost");
+        prop_assert!(remaining.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Engine time never runs backwards under arbitrary schedules.
+    #[test]
+    fn engine_time_is_monotone(delays in proptest::collection::vec(0.0f64..10.0, 1..50)) {
+        let mut e: Engine<u32> = Engine::new();
+        for (i, d) in delays.iter().enumerate() {
+            e.schedule_after(SimDuration::from_secs(*d), i as u32);
+        }
+        let mut last = e.now();
+        while let Some((t, _)) = e.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            prop_assert_eq!(e.now(), t);
+        }
+    }
+
+    /// RNG streams: same label+index identical, any difference diverges.
+    #[test]
+    fn rng_streams_are_stable(seed in any::<u64>(), label in "[a-z]{1,8}", idx in 0u64..100) {
+        use rand::Rng;
+        let hub = RngHub::new(seed);
+        let a: Vec<u64> = { let mut r = hub.stream(&label, idx); (0..8).map(|_| r.gen()).collect() };
+        let b: Vec<u64> = { let mut r = hub.stream(&label, idx); (0..8).map(|_| r.gen()).collect() };
+        prop_assert_eq!(&a, &b);
+        let c: Vec<u64> = { let mut r = hub.stream(&label, idx + 1); (0..8).map(|_| r.gen()).collect() };
+        prop_assert_ne!(&a, &c);
+    }
+
+    /// Time arithmetic round-trips.
+    #[test]
+    fn time_arithmetic_roundtrips(a in -1e6f64..1e6, d in -1e6f64..1e6) {
+        let t = RealTime::from_secs(a);
+        let dur = SimDuration::from_secs(d);
+        let t2 = t + dur;
+        let tol = 1e-9 * (1.0 + a.abs() + d.abs());
+        prop_assert!(((t2 - t).as_secs() - dur.as_secs()).abs() <= tol);
+        prop_assert!(((t2 - dur) - t).as_secs().abs() <= tol);
+    }
+}

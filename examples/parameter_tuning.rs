@@ -1,0 +1,85 @@
+//! Parameter tuning: how to pick `K` (sync rounds per Δ) for a deployment.
+//!
+//! The paper's Theorem 5 exposes a clean tradeoff: syncing more often per
+//! adversary period Δ shrinks the residue `C = (17Λ + 18ρT)/2^(K−3)`
+//! geometrically, driving the deviation bound γ toward its `16Λ` floor and
+//! the logical drift toward the raw hardware ρ — at the cost of more
+//! traffic. This example derives full parameter sets for a few candidate
+//! deployments and prints the bounds, plus the message cost per node.
+//!
+//! Run with: `cargo run --example parameter_tuning`
+
+use byzclock::core::NetworkModel;
+use byzclock::harness::table::{fmt_secs, Table};
+use byzclock::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let deployments = [
+        ("LAN", SimDuration::from_micros(500.0), 1e-6),
+        ("datacenter", SimDuration::from_millis(2.0), 1e-5),
+        ("internet", SimDuration::from_millis(50.0), 1e-4),
+    ];
+    let n = 10;
+    let f = 3;
+    let big_delta = SimDuration::from_secs(3600.0); // hourly proactive refresh
+
+    for (name, delta, rho) in deployments {
+        let model = NetworkModel {
+            delta,
+            rho,
+            lambda: NetworkModel::natural_lambda(delta, rho),
+            big_delta,
+        };
+        let mut table = Table::new(
+            format!(
+                "{name}: delta = {delta}, rho = {rho:.0e}, Delta = {big_delta} (n={n}, f={f})"
+            ),
+            &[
+                "K",
+                "SyncInt",
+                "gamma",
+                "rho~",
+                "WayOff",
+                "msgs/node/Delta",
+            ],
+        );
+        for k in [5u32, 8, 16, 32, 64] {
+            match model.derive(n, f, k) {
+                Ok(derived) => {
+                    // one round = (n-1) pings + (n-1) pongs sent per node
+                    let msgs = 2 * (n - 1) as u64 * k as u64;
+                    table.row_owned(vec![
+                        k.to_string(),
+                        format!("{}", derived.params.sync_int()),
+                        fmt_secs(derived.bounds.gamma),
+                        format!("{:.2e}", derived.bounds.logical_drift),
+                        fmt_secs(derived.bounds.way_off),
+                        msgs.to_string(),
+                    ]);
+                }
+                Err(e) => {
+                    table.row_owned(vec![
+                        k.to_string(),
+                        format!("invalid: {e}"),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]);
+                }
+            }
+        }
+        println!("{table}");
+        println!(
+            "   16*Lambda floor: {}\n",
+            fmt_secs(16.0 * model.lambda)
+        );
+    }
+
+    println!(
+        "reading: pick the smallest K whose gamma is within ~25% of the 16*Lambda floor —\n\
+         beyond that, extra sync rounds only buy marginal accuracy (the C residue is\n\
+         already negligible) while the message cost keeps growing linearly."
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Runs the complete experiment suite (E1–E20) and writes the reports.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --example run_experiments             # quick mode
+//! cargo run --release --example run_experiments -- --full   # full sweeps
+//! cargo run --release --example run_experiments -- --json   # machine output
+//! cargo run --release --example run_experiments -- --svg    # SVG figures
+//! ```
+//!
+//! Text reports go to stdout; with `--json` each report is additionally
+//! written to `experiment-reports/<id>.json`, and with `--svg` every
+//! series becomes `experiment-reports/<id>-<n>.svg`.
+
+use byzclock::harness::experiments::{registry, Mode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = if args.iter().any(|a| a == "--full") {
+        Mode::Full
+    } else {
+        Mode::Quick
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let svg = args.iter().any(|a| a == "--svg");
+
+    if json || svg {
+        std::fs::create_dir_all("experiment-reports")?;
+    }
+
+    let mut passed = 0usize;
+    let mut failed = Vec::new();
+    let started = std::time::Instant::now();
+    for (id, runner) in registry() {
+        let report = runner(mode);
+        println!("{}", report.render());
+        if report.pass {
+            passed += 1;
+        } else {
+            failed.push(id);
+        }
+        if json {
+            std::fs::write(
+                format!("experiment-reports/{id}.json"),
+                report.to_json(),
+            )?;
+        }
+        if svg {
+            use byzclock::harness::svg::{render, SvgOptions};
+            for (i, series) in report.series.iter().enumerate() {
+                let options = SvgOptions {
+                    title: format!("{id}: {}", series.name()),
+                    ..SvgOptions::default()
+                };
+                std::fs::write(
+                    format!("experiment-reports/{id}-{i}.svg"),
+                    render(&[series], &options),
+                )?;
+            }
+        }
+    }
+
+    println!(
+        "================================================================\n\
+         {} experiments: {} passed, {} failed ({:?}, mode {:?})",
+        registry().len(),
+        passed,
+        failed.len(),
+        started.elapsed(),
+        mode,
+    );
+    if !failed.is_empty() {
+        println!("failed: {failed:?}");
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! The whole experiment suite (quick mode) must reproduce every claim.
+//!
+//! This is the repository's "does the reproduction hold" gate: each
+//! experiment compares a measurement against the bound the paper states
+//! and reports pass/fail; all twelve must pass.
+
+use byzclock::harness::experiments::{registry, Mode};
+
+#[test]
+fn every_experiment_reproduces_its_claim_in_quick_mode() {
+    let mut failures = Vec::new();
+    for (id, runner) in registry() {
+        let report = runner(Mode::Quick);
+        assert_eq!(report.id, id);
+        if !report.pass {
+            failures.push(format!("{id}:\n{}", report.render()));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "experiments failed:\n{}",
+        failures.join("\n\n")
+    );
+}
+
+#[test]
+fn reports_render_non_trivially() {
+    for (_, runner) in registry().into_iter().take(3) {
+        let report = runner(Mode::Quick);
+        let text = report.render();
+        assert!(text.len() > 200, "report suspiciously short:\n{text}");
+        assert!(text.contains("claim:"));
+    }
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    let run = || registry()[0].1(Mode::Quick).render();
+    assert_eq!(run(), run());
+}
