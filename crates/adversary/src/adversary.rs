@@ -76,7 +76,7 @@ impl Adversary {
                 actions.push((iv.until, AdversaryAction::Release(iv.proc)));
             }
         }
-        actions.sort_by(|a, b| a.0.cmp(&b.0));
+        actions.sort_by_key(|a| a.0);
         actions
     }
 
@@ -88,8 +88,7 @@ impl Adversary {
     /// True iff `proc` was non-faulty during the whole window
     /// `[tau − big_delta, tau]` (Definition 3's "good at τ").
     pub fn good_at(&self, proc: ProcId, tau: RealTime, big_delta: SimDuration) -> bool {
-        self.schedule
-            .non_faulty_during(proc, tau - big_delta, tau)
+        self.schedule.non_faulty_during(proc, tau - big_delta, tau)
     }
 
     /// Called by the runtime at break-in; returns the clock sabotage to

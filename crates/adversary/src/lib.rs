@@ -25,10 +25,12 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod plan;
 pub mod schedule;
 pub mod strategy;
 
 pub use adversary::{Adversary, AdversaryAction, ClockSabotage};
+pub use plan::{AdversaryPlan, CorruptionWindowSpec, PlanError, StrategySpec};
 pub use schedule::{CorruptionInterval, CorruptionSchedule, ScheduleError};
 pub use strategy::{
     AttackContext, AttackReply, ByzantineStrategy, ColluderStrategy, ConstantOffsetStrategy,

@@ -219,7 +219,10 @@ impl CorruptionSchedule {
         stagger: SimDuration,
     ) -> Self {
         assert!(f >= 1, "rotating churn needs f >= 1");
-        assert!(n >= 2 * f, "rotating churn needs n >= 2f to avoid collisions");
+        assert!(
+            n >= 2 * f,
+            "rotating churn needs n >= 2f to avoid collisions"
+        );
         assert!(hold > SimDuration::ZERO, "hold must be positive");
         let mut schedule = CorruptionSchedule::new();
         // Strictly greater than Δ so closed windows [τ, τ+Δ] can't touch
@@ -450,15 +453,8 @@ mod tests {
     fn random_churn_is_f_limited() {
         let mut rng = RngHub::new(42).stream("churn", 0);
         let big_delta = d(20.0);
-        let s = CorruptionSchedule::random_churn(
-            12,
-            4,
-            d(2.0),
-            d(8.0),
-            big_delta,
-            t(2000.0),
-            &mut rng,
-        );
+        let s =
+            CorruptionSchedule::random_churn(12, 4, d(2.0), d(8.0), big_delta, t(2000.0), &mut rng);
         assert!(s.episode_count() > 40);
         s.verify_f_limited(4, big_delta, t(2000.0)).unwrap();
     }

@@ -187,7 +187,7 @@ impl ByzantineStrategy for SplitBrainStrategy {
         ClockSabotage::None
     }
     fn reply(&mut self, ctx: &AttackContext, _rng: &mut DetRng) -> AttackReply {
-        let sign = if ctx.requester.index() % 2 == 0 {
+        let sign = if ctx.requester.index().is_multiple_of(2) {
             1.0
         } else {
             -1.0
@@ -225,10 +225,7 @@ impl ByzantineStrategy for StealthStrategy {
         ClockSabotage::None
     }
     fn reply(&mut self, ctx: &AttackContext, _rng: &mut DetRng) -> AttackReply {
-        let base = ctx
-            .good_bias_range
-            .map(|(_, hi)| hi)
-            .unwrap_or(0.0);
+        let base = ctx.good_bias_range.map(|(_, hi)| hi).unwrap_or(0.0);
         AttackReply::with_bias(ctx.real_now, base + self.push)
     }
 }
@@ -367,10 +364,7 @@ mod tests {
         let b2 = claimed_bias(s.reply(&ctx(5), &mut r), ctx(5).real_now);
         assert_eq!(b1, -7.5);
         assert_eq!(b2, -7.5);
-        assert_eq!(
-            s.sabotage(ProcId(0), &mut r),
-            ClockSabotage::SetBias(-7.5)
-        );
+        assert_eq!(s.sabotage(ProcId(0), &mut r), ClockSabotage::SetBias(-7.5));
     }
 
     #[test]
@@ -412,7 +406,7 @@ mod tests {
         let bl = claimed_bias(s.reply(&low, &mut r), low.real_now);
         assert!(bl < 0.001, "low requester pulled down, got {bl}");
         assert!((bl - (0.001 - 0.45)).abs() < 1e-9); // 0.9 * 0.5 = 0.45 pull
-        // requester above midpoint
+                                                     // requester above midpoint
         let mut high = ctx(1);
         high.requester_bias = Some(Bias::from_secs(0.02));
         let bh = claimed_bias(s.reply(&high, &mut r), high.real_now);

@@ -1,0 +1,10 @@
+//! Regenerates experiment E21 (see DESIGN.md §3) in full mode.
+//!
+//! Not a timing benchmark: this target exists so `cargo bench` rebuilds
+//! every table/figure of the reproduction. Output is also persisted to
+//! `target/experiment-reports/E21.txt`.
+
+fn main() {
+    let report = byzclock_bench::run_and_print("E21");
+    assert!(report.pass, "E21 failed to reproduce its claim");
+}

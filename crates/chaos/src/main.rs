@@ -1,0 +1,134 @@
+//! The `chaos` CLI: run campaigns, replay artifacts.
+//!
+//! ```text
+//! chaos campaign [--plans N] [--seed S] [--out FILE]
+//! chaos replay <artifact.json>
+//! ```
+//!
+//! `campaign` samples and runs N composed fault plans, prints a verdict
+//! line per plan, and (with `--out`) writes the full report — including
+//! one replay artifact per violating plan — as JSON. `replay` re-executes
+//! a single artifact and exits 0 iff the recorded violations reproduce
+//! bit-identically.
+
+use std::process::ExitCode;
+
+use byzclock_chaos::{replay, run_campaign, CampaignConfig, ReplayArtifact, ReplayOutcome};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("campaign") => campaign(&args[1..]),
+        Some("replay") => replay_cmd(&args[1..]),
+        _ => {
+            eprintln!("usage: chaos campaign [--plans N] [--seed S] [--out FILE]");
+            eprintln!("       chaos replay <artifact.json>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn campaign(args: &[String]) -> ExitCode {
+    let mut plans = 50usize;
+    let mut seed = 0u64;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--plans" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => plans = v,
+                None => return usage("--plans needs a number"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage("--seed needs a number"),
+            },
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => return usage("--out needs a path"),
+            },
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let config = CampaignConfig {
+        root_seed: seed,
+        plans,
+    };
+    let report = run_campaign(&config);
+    for v in &report.verdicts {
+        let dims = v.plan.dimensions().join("+");
+        if v.violations.is_empty() {
+            println!("plan {:>3}  ok        [{dims}]", v.index);
+        } else {
+            println!(
+                "plan {:>3}  VIOLATED  [{dims}]  {} x {}",
+                v.index,
+                v.violations.len(),
+                v.violations[0].invariant
+            );
+        }
+    }
+    println!(
+        "{} plans, {} violating, {} artifacts (seed {})",
+        report.verdicts.len(),
+        report.violating_count(),
+        report.artifacts.len(),
+        report.root_seed
+    );
+    if let Some(path) = out {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn replay_cmd(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage("replay needs an artifact path");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let artifact = match ReplayArtifact::from_json(&text) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {path} is not a replay artifact: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "replaying plan {} of campaign seed {} ({} recorded violations, invariant {})",
+        artifact.plan_index,
+        artifact.root_seed,
+        artifact.violations.len(),
+        artifact.invariant
+    );
+    match replay(&artifact) {
+        ReplayOutcome::Reproduced => {
+            println!("reproduced bit-identically");
+            ExitCode::SUCCESS
+        }
+        ReplayOutcome::Diverged { expected, got } => {
+            eprintln!(
+                "DIVERGED: recorded {} violations, replay produced {}",
+                expected.len(),
+                got.len()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(2)
+}

@@ -132,17 +132,14 @@ mod tests {
     fn local_time_arithmetic() {
         let t = LocalTime::from_secs(2.0) + SimDuration::from_secs(0.5);
         assert_eq!(t, LocalTime::from_secs(2.5));
-        assert_eq!(
-            t - LocalTime::from_secs(1.0),
-            SimDuration::from_secs(1.5)
-        );
+        assert_eq!(t - LocalTime::from_secs(1.0), SimDuration::from_secs(1.5));
         assert_eq!(t - SimDuration::from_secs(0.5), LocalTime::from_secs(2.0));
     }
 
     #[test]
     fn local_time_ordering() {
         assert!(LocalTime::from_secs(1.0) < LocalTime::from_secs(2.0));
-        let mut v = vec![LocalTime::from_secs(3.0), LocalTime::ZERO];
+        let mut v = [LocalTime::from_secs(3.0), LocalTime::ZERO];
         v.sort();
         assert_eq!(v[0], LocalTime::ZERO);
     }

@@ -263,8 +263,7 @@ impl LogicalClock {
                 }
                 // finish the slew, then plain hardware rate
                 let after_segment = need - segment_gain;
-                return real_now
-                    + SimDuration::from_secs(segment_real + after_segment / hw_rate);
+                return real_now + SimDuration::from_secs(segment_real + after_segment / hw_rate);
             }
         }
         real_now + SimDuration::from_secs((target.as_secs() - now_value) / hw_rate)

@@ -205,9 +205,7 @@ impl EnvelopeChain {
         let envelopes = extents
             .iter()
             .enumerate()
-            .map(|(i, &(lo, hi))| {
-                Envelope::new(RealTime::from_secs(i as f64 * t), lo, hi, rho)
-            })
+            .map(|(i, &(lo, hi))| Envelope::new(RealTime::from_secs(i as f64 * t), lo, hi, rho))
             .collect();
         EnvelopeChain { t, rho, envelopes }
     }
@@ -386,23 +384,16 @@ mod tests {
     #[test]
     fn envelope_chain_flags_escape() {
         // second interval jumps far outside the first + C/2
-        let chain =
-            EnvelopeChain::from_extents(&[(-0.1, 0.1), (0.5, 0.7)], 5.0, 0.0);
+        let chain = EnvelopeChain::from_extents(&[(-0.1, 0.1), (0.5, 0.7)], 5.0, 0.0);
         let violations = chain.verify(1.0, 0.01);
-        assert_eq!(
-            violations,
-            vec![ChainViolation::Escaped { interval: 1 }]
-        );
+        assert_eq!(violations, vec![ChainViolation::Escaped { interval: 1 }]);
     }
 
     #[test]
     fn envelope_chain_allows_c_half_growth() {
         let c = 0.1;
-        let chain = EnvelopeChain::from_extents(
-            &[(-0.1, 0.1), (-0.1 - c / 2.0, 0.1 + c / 2.0)],
-            5.0,
-            0.0,
-        );
+        let chain =
+            EnvelopeChain::from_extents(&[(-0.1, 0.1), (-0.1 - c / 2.0, 0.1 + c / 2.0)], 5.0, 0.0);
         assert!(chain.verify(1.0, c).is_empty());
     }
 

@@ -126,16 +126,16 @@ impl NetworkModel {
     ///
     /// [`BoundsError::InvalidModel`] naming the offending constant.
     pub fn validate(&self) -> Result<(), BoundsError> {
-        if !(self.delta > SimDuration::ZERO) || !self.delta.is_finite() {
+        if self.delta <= SimDuration::ZERO || !self.delta.is_finite() {
             return Err(BoundsError::InvalidModel("delta must be positive finite"));
         }
-        if !(self.rho >= 0.0) || !self.rho.is_finite() {
+        if self.rho < 0.0 || !self.rho.is_finite() {
             return Err(BoundsError::InvalidModel("rho must be >= 0 and finite"));
         }
-        if !(self.lambda > 0.0) || !self.lambda.is_finite() {
+        if self.lambda <= 0.0 || !self.lambda.is_finite() {
             return Err(BoundsError::InvalidModel("lambda must be positive finite"));
         }
-        if !(self.big_delta > SimDuration::ZERO) || !self.big_delta.is_finite() {
+        if self.big_delta <= SimDuration::ZERO || !self.big_delta.is_finite() {
             return Err(BoundsError::InvalidModel(
                 "big_delta must be positive finite",
             ));
@@ -328,8 +328,7 @@ mod tests {
         let m = model();
         let d = m.derive(10, 3, 8).unwrap();
         // T = (1+rho)*SyncInt + 2*MaxWait must equal big_delta / K
-        let t = (1.0 + m.rho) * d.params.sync_int().as_secs()
-            + 2.0 * d.params.max_wait().as_secs();
+        let t = (1.0 + m.rho) * d.params.sync_int().as_secs() + 2.0 * d.params.max_wait().as_secs();
         assert!((t - m.big_delta.as_secs() / 8.0).abs() < 1e-9);
         assert_eq!(d.bounds.k, 8);
         assert_eq!(d.params.max_wait(), m.delta * 2.0);
@@ -397,8 +396,6 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(format!("{}", BoundsError::KTooSmall(2)).contains("K >= 5"));
-        assert!(
-            format!("{}", BoundsError::PeriodTooShort { required_secs: 9.0 }).contains("9")
-        );
+        assert!(format!("{}", BoundsError::PeriodTooShort { required_secs: 9.0 }).contains("9"));
     }
 }

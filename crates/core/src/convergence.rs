@@ -76,10 +76,7 @@ pub fn select_low_high(f: usize, estimates: &[PeerEstimate]) -> (f64, f64) {
         estimates.len()
     );
     let mut overs: Vec<f64> = estimates.iter().map(|e| e.sample.overestimate()).collect();
-    let mut unders: Vec<f64> = estimates
-        .iter()
-        .map(|e| e.sample.underestimate())
-        .collect();
+    let mut unders: Vec<f64> = estimates.iter().map(|e| e.sample.underestimate()).collect();
     overs.sort_by(f64::total_cmp);
     unders.sort_by(f64::total_cmp);
     let m = overs[f];
@@ -498,11 +495,17 @@ mod tests {
         let mut e = exact(&[0.01, 0.02, 0.03, 0.0, -0.01]);
         e.push(PeerEstimate {
             peer: ProcId(90),
-            sample: OffsetSample { offset: 1e9, error: 0.0 },
+            sample: OffsetSample {
+                offset: 1e9,
+                error: 0.0,
+            },
         });
         e.push(PeerEstimate {
             peer: ProcId(91),
-            sample: OffsetSample { offset: -1e9, error: 0.0 },
+            sample: OffsetSample {
+                offset: -1e9,
+                error: 0.0,
+            },
         });
         let delta = MedianConvergence.adjustment(2, 1.0, &e);
         assert!(delta.abs() <= 0.03, "median dragged to {delta}");

@@ -25,7 +25,7 @@
 //! protocols.
 
 use byzclock_clock::LocalTime;
-use byzclock_sim::{ProcId, SimDuration};
+use byzclock_sim::{DetRng, ProcId, SimDuration};
 
 use crate::convergence::{ConvergenceFn, PaperSync, PeerEstimate};
 use crate::estimate::OffsetSample;
@@ -160,6 +160,12 @@ pub struct SyncNode {
     cache: Vec<Option<OffsetSample>>,
     /// Send time of the in-flight cache generation.
     cache_sent_at: LocalTime,
+    /// Nonce of the in-flight cache generation.
+    cache_nonce: u64,
+    /// Anti-replay nonce stream. Seeded by the host ([`SyncNode::with_nonce_seed`])
+    /// so nonces are unpredictable to peers yet the whole run stays a pure
+    /// function of the world seed.
+    nonces: DetRng,
 }
 
 impl SyncNode {
@@ -190,7 +196,23 @@ impl SyncNode {
             estimation: EstimationMode::PerRound,
             cache: vec![None; n],
             cache_sent_at: LocalTime::ZERO,
+            cache_nonce: 0,
+            // Stand-alone default: derived from the id so unseeded nodes
+            // still get distinct streams. Hosts override via
+            // `with_nonce_seed` with a fork of their root seed.
+            nonces: DetRng::seeded(0x6E6F_6E63_6500_0000 ^ (id.index() as u64 + 1)),
         }
+    }
+
+    /// Re-seeds the anti-replay nonce stream.
+    ///
+    /// A peer that can predict future-round nonces defeats the replay check
+    /// in `on_pong`, so hosts must fork this seed from their root seed
+    /// (giving every node an independent, unpredictable-to-peers stream)
+    /// rather than derive it from public values like `(id, round)`.
+    pub fn with_nonce_seed(mut self, seed: u64) -> Self {
+        self.nonces = DetRng::seeded(seed);
+        self
     }
 
     /// Switches the estimation mode (before the node is started).
@@ -323,7 +345,7 @@ impl SyncNode {
     fn begin_round(&mut self, local_now: LocalTime) -> Vec<Output> {
         self.round += 1;
         let round = self.round;
-        let nonce = Self::nonce_for(self.id, round);
+        let nonce = self.nonces.bits64();
         let n = self.params.n();
         let k = self.params.pings_per_peer();
         self.active = Some(ActiveRound {
@@ -360,11 +382,17 @@ impl SyncNode {
     ) -> Vec<Output> {
         let k = self.params.pings_per_peer();
         let me = self.id;
+        if !clock.as_secs().is_finite() {
+            // A Byzantine peer reporting ±∞ (or NaN) would flow straight
+            // into the convergence function's (m+M)/2 and poison the
+            // adjustment; drop it so the slot resolves via TIMEOUT instead.
+            return Vec::new();
+        }
         if let EstimationMode::Cached { .. } = self.estimation {
             // cache fill: accept only the current generation (round) and
             // overwrite the peer's slot with the freshest sample
             if round == self.round
-                && nonce == Self::nonce_for(me, round)
+                && nonce == self.cache_nonce
                 && from != me
                 && from.index() < self.cache.len()
                 && local_now >= self.cache_sent_at
@@ -441,10 +469,7 @@ impl SyncNode {
                 },
             })
             .collect();
-        let timeouts = estimates
-            .iter()
-            .filter(|e| e.sample.is_timeout())
-            .count();
+        let timeouts = estimates.iter().filter(|e| e.sample.is_timeout()).count();
         let responders = estimates.len() - timeouts - 1; // minus self
         let delta = self
             .convergence
@@ -471,7 +496,8 @@ impl SyncNode {
     fn refresh_cache(&mut self, local_now: LocalTime) -> Vec<Output> {
         self.round += 1;
         self.cache_sent_at = local_now;
-        let nonce = Self::nonce_for(self.id, self.round);
+        self.cache_nonce = self.nonces.bits64();
+        let nonce = self.cache_nonce;
         ProcId::all(self.params.n())
             .filter(|q| *q != self.id)
             .map(|q| Output::Send {
@@ -521,15 +547,6 @@ impl SyncNode {
                 kind: TimerKind::SyncDue,
             },
         ]
-    }
-
-    /// Deterministic anti-replay nonce for `(id, round)`.
-    fn nonce_for(id: ProcId, round: u64) -> u64 {
-        let mut z = round
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add((id.index() as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z ^ (z >> 31)
     }
 }
 
@@ -739,9 +756,7 @@ mod tests {
         node.handle(pong(1, round, nonce, 0.0, 0.1));
         node.handle(pong(2, round, nonce, 0.0, 0.1));
         let out = node.handle(pong(3, round, nonce, 0.0, 0.1));
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, Output::RoundCompleted(_))));
+        assert!(out.iter().any(|o| matches!(o, Output::RoundCompleted(_))));
     }
 
     #[test]
@@ -852,13 +867,99 @@ mod tests {
         assert!((delta - 100.0).abs() < 0.1, "expected jump, got {delta}");
     }
 
+    /// Drives one full round to completion and returns the nonce it used.
+    fn run_round_nonce(node: &mut SyncNode, at: f64) -> u64 {
+        let out = if node.round() == 0 {
+            start(node, at)
+        } else {
+            node.handle(Input::TimerFired {
+                timer: TimerKind::SyncDue,
+                local_now: lt(at),
+            })
+        };
+        let (round, nonce) = extract_ping(&out, ProcId(1));
+        for p in [1u32, 2, 3] {
+            node.handle(pong(p, round, nonce, at, at + 0.1));
+        }
+        nonce
+    }
+
     #[test]
     fn nonces_differ_across_nodes_and_rounds() {
-        let a1 = SyncNode::nonce_for(ProcId(0), 1);
-        let a2 = SyncNode::nonce_for(ProcId(0), 2);
-        let b1 = SyncNode::nonce_for(ProcId(1), 1);
+        let mut a = SyncNode::new(ProcId(0), params(4, 1)).with_nonce_seed(1);
+        let mut b = SyncNode::new(ProcId(1), params(4, 1)).with_nonce_seed(2);
+        let a1 = run_round_nonce(&mut a, 0.0);
+        let a2 = run_round_nonce(&mut a, 10.1);
+        let out = start(&mut b, 0.0);
+        let b1 = extract_ping(&out, ProcId(0)).1;
         assert_ne!(a1, a2);
         assert_ne!(a1, b1);
+    }
+
+    #[test]
+    fn nonces_are_not_predictable_from_id_and_round() {
+        // Same (id, round) under different seeds must yield different
+        // nonces — a peer knowing only public values cannot forge pongs.
+        let out1 = start(
+            &mut SyncNode::new(ProcId(0), params(4, 1)).with_nonce_seed(10),
+            0.0,
+        );
+        let out2 = start(
+            &mut SyncNode::new(ProcId(0), params(4, 1)).with_nonce_seed(11),
+            0.0,
+        );
+        assert_ne!(
+            extract_ping(&out1, ProcId(1)).1,
+            extract_ping(&out2, ProcId(1)).1
+        );
+        // ... while the same seed reproduces the same stream (determinism).
+        let out3 = start(
+            &mut SyncNode::new(ProcId(0), params(4, 1)).with_nonce_seed(10),
+            0.0,
+        );
+        assert_eq!(
+            extract_ping(&out1, ProcId(1)).1,
+            extract_ping(&out3, ProcId(1)).1
+        );
+    }
+
+    #[test]
+    fn non_finite_pong_clock_is_rejected() {
+        // A Byzantine ±∞ clock must not reach the convergence function,
+        // where it would poison (m+M)/2 and emit a non-finite adjustment.
+        let mut node = SyncNode::new(ProcId(0), params(4, 1));
+        let out = start(&mut node, 0.0);
+        let (round, nonce) = extract_ping(&out, ProcId(1));
+        assert!(node
+            .handle(pong(1, round, nonce, f64::INFINITY, 0.1))
+            .is_empty());
+        assert!(node
+            .handle(pong(1, round, nonce, f64::NEG_INFINITY, 0.1))
+            .is_empty());
+        node.handle(pong(2, round, nonce, 0.0, 0.1));
+        node.handle(pong(3, round, nonce, 0.0, 0.1));
+        assert!(node.is_round_active(), "poisoned pong must not fill slot 1");
+        // Peer 1 resolves via the TIMEOUT path; the adjustment stays finite.
+        let out = node.handle(Input::TimerFired {
+            timer: TimerKind::RoundTimeout { round },
+            local_now: lt(1.0),
+        });
+        let delta = out
+            .iter()
+            .find_map(|o| match o {
+                Output::AdjustClock { delta } => Some(delta.as_secs()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(delta.is_finite(), "adjustment poisoned: {delta}");
+        let summary = out
+            .iter()
+            .find_map(|o| match o {
+                Output::RoundCompleted(s) => Some(*s),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(summary.timeouts, 1);
     }
 
     #[test]
@@ -941,11 +1042,10 @@ mod tests {
 
     #[test]
     fn cached_mode_starts_refresher_and_sync_alarm() {
-        let mut node = SyncNode::new(ProcId(0), params(4, 1)).with_estimation(
-            EstimationMode::Cached {
+        let mut node =
+            SyncNode::new(ProcId(0), params(4, 1)).with_estimation(EstimationMode::Cached {
                 refresh: SimDuration::from_secs(3.0),
-            },
-        );
+            });
         let out = start(&mut node, 0.0);
         let pings = out
             .iter()
@@ -959,18 +1059,20 @@ mod tests {
         )));
         assert!(out.iter().any(|o| matches!(
             o,
-            Output::SetTimer { kind: TimerKind::SyncDue, .. }
+            Output::SetTimer {
+                kind: TimerKind::SyncDue,
+                ..
+            }
         )));
         assert!(!node.is_round_active(), "cached mode has no blocking round");
     }
 
     #[test]
     fn cached_mode_sync_uses_cache_and_stale_values() {
-        let mut node = SyncNode::new(ProcId(0), params(4, 1)).with_estimation(
-            EstimationMode::Cached {
+        let mut node =
+            SyncNode::new(ProcId(0), params(4, 1)).with_estimation(EstimationMode::Cached {
                 refresh: SimDuration::from_secs(3.0),
-            },
-        );
+            });
         let out = start(&mut node, 0.0);
         let (round, nonce) = extract_ping(&out, ProcId(1));
         // peers answer: all 2 s ahead
@@ -1008,11 +1110,10 @@ mod tests {
 
     #[test]
     fn cached_mode_refresh_rolls_generation() {
-        let mut node = SyncNode::new(ProcId(0), params(4, 1)).with_estimation(
-            EstimationMode::Cached {
+        let mut node =
+            SyncNode::new(ProcId(0), params(4, 1)).with_estimation(EstimationMode::Cached {
                 refresh: SimDuration::from_secs(3.0),
-            },
-        );
+            });
         let out = start(&mut node, 0.0);
         let (g1, n1) = extract_ping(&out, ProcId(1));
         let out = node.handle(Input::TimerFired {
@@ -1045,11 +1146,10 @@ mod tests {
 
     #[test]
     fn cached_mode_empty_cache_syncs_with_timeouts_only() {
-        let mut node = SyncNode::new(ProcId(0), params(4, 1)).with_estimation(
-            EstimationMode::Cached {
+        let mut node =
+            SyncNode::new(ProcId(0), params(4, 1)).with_estimation(EstimationMode::Cached {
                 refresh: SimDuration::from_secs(3.0),
-            },
-        );
+            });
         start(&mut node, 0.0);
         let out = node.handle(Input::TimerFired {
             timer: TimerKind::SyncDue,
@@ -1077,11 +1177,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn cached_mode_zero_refresh_panics() {
-        let _ = SyncNode::new(ProcId(0), params(4, 1)).with_estimation(
-            EstimationMode::Cached {
-                refresh: SimDuration::ZERO,
-            },
-        );
+        let _ = SyncNode::new(ProcId(0), params(4, 1)).with_estimation(EstimationMode::Cached {
+            refresh: SimDuration::ZERO,
+        });
     }
 
     #[test]

@@ -183,7 +183,7 @@ impl ProtocolParamsBuilder {
             return Err(ParamError::SyncIntervalTooShort);
         }
         let way_off = self.way_off.unwrap_or(f64::INFINITY);
-        if !(way_off > 0.0) {
+        if way_off <= 0.0 || way_off.is_nan() {
             return Err(ParamError::InvalidWayOff);
         }
         if !(1..=64).contains(&self.pings_per_peer) {
@@ -345,7 +345,10 @@ mod tests {
         assert_eq!(p.pings_per_peer(), 8);
         // default is 1
         assert_eq!(
-            ProtocolParams::builder(4, 1).build().unwrap().pings_per_peer(),
+            ProtocolParams::builder(4, 1)
+                .build()
+                .unwrap()
+                .pings_per_peer(),
             1
         );
     }

@@ -73,23 +73,30 @@ mod tests {
         assert_eq!(pong.round(), 3);
     }
 
+    fn serde_json_roundtrip(msg: &WireMessage) -> WireMessage {
+        let json = serde_json::to_string(msg).expect("serialize");
+        serde_json::from_str(&json).expect("deserialize")
+    }
+
     #[test]
     fn serde_roundtrip() {
+        let ping = WireMessage::Ping {
+            round: 7,
+            nonce: u64::MAX, // nonces use the full 64-bit range
+        };
+        assert_eq!(serde_json_roundtrip(&ping), ping);
         let pong = WireMessage::Pong {
             round: 7,
             nonce: 13,
             clock: LocalTime::from_secs(2.5),
         };
-        let json = serde_json_roundtrip(&pong);
-        assert_eq!(json, pong);
+        assert_eq!(serde_json_roundtrip(&pong), pong);
     }
 
-    fn serde_json_roundtrip(msg: &WireMessage) -> WireMessage {
-        // Use the serde data model through a generic in-memory format:
-        // serialize to a serde_json-free representation via bincode-like
-        // round trip is unavailable; use serde's test pattern with
-        // `serde_json` in dev-deps of the workspace root instead. Here we
-        // exercise Clone/PartialEq semantics.
-        *msg
+    #[test]
+    fn serde_json_shape_is_externally_tagged() {
+        let json = serde_json::to_string(&WireMessage::Ping { round: 1, nonce: 2 }).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(value.get("Ping").is_some(), "unexpected shape: {json}");
     }
 }

@@ -20,10 +20,21 @@ fn params(n: usize, f: usize, k: usize) -> ProtocolParams {
 #[derive(Debug, Clone)]
 enum Fuzz {
     Start,
-    Ping { from: u32, round: u64, nonce: u64 },
-    Pong { from: u32, round: u64, nonce: u64, clock: f64 },
+    Ping {
+        from: u32,
+        round: u64,
+        nonce: u64,
+    },
+    Pong {
+        from: u32,
+        round: u64,
+        nonce: u64,
+        clock: f64,
+    },
     SyncDue,
-    RoundTimeout { round: u64 },
+    RoundTimeout {
+        round: u64,
+    },
 }
 
 fn fuzz_strategy() -> impl Strategy<Value = Fuzz> {

@@ -26,9 +26,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
 
     let mut table = Table::new(
         "Table 1: max good-set deviation vs Theorem 5(i) bound (n=10, f=3)",
-        &[
-            "K", "T", "gamma", "quiet", "churn", "churn/gamma", "ok",
-        ],
+        &["K", "T", "gamma", "quiet", "churn", "churn/gamma", "ok"],
     );
     let mut all_pass = true;
 
@@ -77,8 +75,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
         tables: vec![table],
         series: vec![],
         notes: vec![
-            "churn = rotating f-limited corruption, random-reply strategy (spread 10*gamma)"
-                .into(),
+            "churn = rotating f-limited corruption, random-reply strategy (spread 10*gamma)".into(),
             "measured after a 1-Delta warm-up; bounds are worst-case so large headroom is \
              expected"
                 .into(),

@@ -50,10 +50,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
     // Spread at each interval boundary (samples land exactly at multiples
     // of T thanks to sample_interval = T).
     let samples = history.samples();
-    let mut spreads: Vec<f64> = samples
-        .iter()
-        .filter_map(|s| s.good_deviation())
-        .collect();
+    let mut spreads: Vec<f64> = samples.iter().filter_map(|s| s.good_deviation()).collect();
     spreads.insert(0, 2.0 * d); // the configured initial spread
 
     let mut series = Series::new("good-set spread per interval", "interval i", "spread (s)");
@@ -91,20 +88,13 @@ pub fn run(mode: Mode) -> ExperimentReport {
     // Claim 8, verified end-to-end: the measured per-interval good-bias
     // extents must form an envelope chain with |E_i| <= 2D and
     // E_i ⊆ E_{i-1} + C/2.
-    let extents: Vec<(f64, f64)> = samples
-        .iter()
-        .filter_map(|s| s.good_bias_range())
-        .collect();
+    let extents: Vec<(f64, f64)> = samples.iter().filter_map(|s| s.good_bias_range()).collect();
     let claim8_violations = if extents.is_empty() {
         usize::MAX
     } else {
-        byzclock_core::EnvelopeChain::from_extents(
-            &extents,
-            t.as_secs(),
-            scenario.rho,
-        )
-        .verify(bounds.d, bounds.c)
-        .len()
+        byzclock_core::EnvelopeChain::from_extents(&extents, t.as_secs(), scenario.rho)
+            .verify(bounds.d, bounds.c)
+            .len()
     };
     all_pass &= claim8_violations == 0;
 

@@ -32,16 +32,20 @@ pub fn run(mode: Mode) -> ExperimentReport {
 
     let mut table = Table::new(
         "Recovery latency vs initial clock offset (n=7, f=2; bound: <= Delta)",
-        &["offset", "offset/gamma", "latency", "latency/T", "ok(<=Delta)"],
+        &[
+            "offset",
+            "offset/gamma",
+            "latency",
+            "latency/T",
+            "ok(<=Delta)",
+        ],
     );
     let mut all_pass = true;
 
     for &mult in offsets_gamma {
         let offset = mult * gamma;
-        let (mut world, _victim, release_at) = scenario.recovery_world(
-            offset,
-            Box::new(ConstantOffsetStrategy::new(offset)),
-        );
+        let (mut world, _victim, release_at) =
+            scenario.recovery_world(offset, Box::new(ConstantOffsetStrategy::new(offset)));
         let recovery = RecoveryTracker::new(gamma);
         world.add_observer(Box::new(recovery.clone()));
         // fine-grained sampling for latency resolution
@@ -54,19 +58,15 @@ pub fn run(mode: Mode) -> ExperimentReport {
             fmt_secs(offset),
             format!("{mult:.1}"),
             latency.map_or("never".into(), fmt_secs),
-            latency.map_or("-".into(), |l| {
-                format!("{:.2}", l / scenario.t().as_secs())
-            }),
+            latency.map_or("-".into(), |l| format!("{:.2}", l / scenario.t().as_secs())),
             if ok { "yes" } else { "NO" }.to_string(),
         ]);
     }
 
     // Halving trajectory: ε inside WayOff so the limited branch is used.
     let eps = bounds.way_off * 0.8;
-    let (mut world, victim, release_at) = scenario.recovery_world(
-        eps,
-        Box::new(ConstantOffsetStrategy::new(eps)),
-    );
+    let (mut world, victim, release_at) =
+        scenario.recovery_world(eps, Box::new(ConstantOffsetStrategy::new(eps)));
     let history = BiasHistory::new();
     world.add_observer(Box::new(history.clone()));
     world.run_until(release_at + scenario.big_delta * 2.0);

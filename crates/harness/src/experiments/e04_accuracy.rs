@@ -61,7 +61,9 @@ pub fn run(mode: Mode) -> ExperimentReport {
         }
     }
 
-    let measured_psi = adjustments.max_good_discontinuity_from(warmup).unwrap_or(0.0);
+    let measured_psi = adjustments
+        .max_good_discontinuity_from(warmup)
+        .unwrap_or(0.0);
 
     let drift_ok = max_excess_rate <= bounds.logical_drift;
     let psi_ok = measured_psi <= psi;

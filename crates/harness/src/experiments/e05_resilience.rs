@@ -32,7 +32,13 @@ pub fn run(mode: Mode) -> ExperimentReport {
     let mut table = Table::new(
         "Table 3: resilience threshold (f=2, colluder adversary, camps at +/-x)",
         &[
-            "n", "n-3f", "initial dev", "final dev", "converged", "expected", "ok",
+            "n",
+            "n-3f",
+            "initial dev",
+            "final dev",
+            "converged",
+            "expected",
+            "ok",
         ],
     );
     let mut all_pass = true;
@@ -59,10 +65,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
             .builder()
             .allow_sub_resilience()
             .initial_bias(InitialBias::Explicit(biases))
-            .adversary(Adversary::new(
-                schedule,
-                Box::new(ColluderStrategy::new()),
-            ))
+            .adversary(Adversary::new(schedule, Box::new(ColluderStrategy::new())))
             .build()
             .expect("E5 world must build");
         world.run_until(horizon);
@@ -72,7 +75,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
         let final_dev = sample.good_deviation().unwrap_or(f64::NAN);
         let initial_dev = 2.0 * x;
         let converged = final_dev < initial_dev / 2.0;
-        let expect_converged = n >= 3 * f + 1;
+        let expect_converged = n > 3 * f;
         let ok = converged == expect_converged;
         all_pass &= ok;
         table.row_owned(vec![

@@ -22,8 +22,7 @@ use crate::table::{fmt_secs, Table};
 pub fn run(mode: Mode) -> ExperimentReport {
     let scenario = Scenario::standard(10, 3);
     let bounds = scenario.bounds();
-    let horizon =
-        RealTime::ZERO + scenario.big_delta * mode.horizon_deltas(6.0, 20.0);
+    let horizon = RealTime::ZERO + scenario.big_delta * mode.horizon_deltas(6.0, 20.0);
 
     let tracker = DeviationTracker::measuring_from(RealTime::ZERO + scenario.big_delta);
     let mut world = scenario.churn_world(
@@ -37,7 +36,11 @@ pub fn run(mode: Mode) -> ExperimentReport {
     let max_dev = tracker.max_deviation().unwrap_or(f64::NAN);
     let min_good = tracker.min_good_count().unwrap_or(0);
 
-    let mut series = Series::new("good-set deviation under mobile churn", "tau (s)", "dev (s)");
+    let mut series = Series::new(
+        "good-set deviation under mobile churn",
+        "tau (s)",
+        "dev (s)",
+    );
     for (t, d) in tracker.series() {
         series.push(t, d);
     }
@@ -55,7 +58,10 @@ pub fn run(mode: Mode) -> ExperimentReport {
     table.row_owned(vec!["distinct processors".into(), "10 (all)".into()]);
     table.row_owned(vec!["max good deviation".into(), fmt_secs(max_dev)]);
     table.row_owned(vec!["gamma bound".into(), fmt_secs(bounds.gamma)]);
-    table.row_owned(vec!["min good count in any sample".into(), min_good.to_string()]);
+    table.row_owned(vec![
+        "min good count in any sample".into(),
+        min_good.to_string(),
+    ]);
 
     ExperimentReport {
         id: "E6",
@@ -63,9 +69,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
         claim: "Intro/Def 2: unbounded faults tolerated if f-limited per Delta".into(),
         tables: vec![table],
         series: vec![series],
-        notes: vec![
-            "the schedule is verified against Definition 2 exactly before the run".into(),
-        ],
+        notes: vec!["the schedule is verified against Definition 2 exactly before the run".into()],
         pass,
     }
 }

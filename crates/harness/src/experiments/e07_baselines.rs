@@ -69,17 +69,16 @@ pub fn run(mode: Mode) -> ExperimentReport {
 
         // (a) recovery
         let (mut world, _victim, release_at) = {
-            let mut b = scenario
-                .builder()
-                .convergence(cf.box_clone())
-                .adversary(byzclock_adversary::Adversary::new(
+            let mut b = scenario.builder().convergence(cf.box_clone()).adversary(
+                byzclock_adversary::Adversary::new(
                     byzclock_adversary::CorruptionSchedule::single(
                         byzclock_sim::ProcId((scenario.n - 1) as u32),
                         RealTime::ZERO + scenario.big_delta,
                         scenario.big_delta * 0.5,
                     ),
                     Box::new(ConstantOffsetStrategy::new(offset)),
-                ));
+                ),
+            );
             b = b.seed(scenario.seed);
             (
                 b.build().expect("E7 recovery world must build"),

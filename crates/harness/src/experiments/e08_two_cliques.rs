@@ -33,9 +33,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
     // Clique A fast, clique B slow — extremes of the rho-envelope.
     let fast = 1.0 + scenario.rho;
     let slow = 1.0 / (1.0 + scenario.rho);
-    let rates: Vec<f64> = (0..n)
-        .map(|i| if i < half { fast } else { slow })
-        .collect();
+    let rates: Vec<f64> = (0..n).map(|i| if i < half { fast } else { slow }).collect();
 
     let run_topology = |topology: Topology| -> Vec<(f64, f64)> {
         let history = BiasHistory::new();
@@ -72,7 +70,9 @@ pub fn run(mode: Mode) -> ExperimentReport {
     // The cliques must separate at roughly the relative hardware rate
     // (~2 rho per second) until they cross the deviation bound, while the
     // mesh stays within it.
-    let slope = crate::stats::linear_fit(&cliques_gap).map(|(_, b)| b).unwrap_or(0.0);
+    let slope = crate::stats::linear_fit(&cliques_gap)
+        .map(|(_, b)| b)
+        .unwrap_or(0.0);
     let expected_slope = 2.0 * scenario.rho;
     let pass = final_cliques > bounds.gamma
         && final_mesh <= bounds.gamma

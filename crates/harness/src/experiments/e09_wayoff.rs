@@ -102,9 +102,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
     // step strictly smaller.
     let derived = &rows[0];
     let disabled = rows.last().expect("at least two rows");
-    let pass = derived
-        .1
-        .is_some_and(|l| l <= scenario.big_delta.as_secs())
+    let pass = derived.1.is_some_and(|l| l <= scenario.big_delta.as_secs())
         && derived.2 > offset * 0.8
         && match (derived.1, disabled.1) {
             (Some(fast), Some(slow)) => slow > fast && disabled.2 < derived.2,

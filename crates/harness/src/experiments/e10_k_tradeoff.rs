@@ -69,8 +69,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
     ExperimentReport {
         id: "E10",
         title: "K tradeoff: more syncs per Delta => C -> 0, accuracy -> rho".into(),
-        claim: "Theorem 5 remark: with T small vs Delta, rho~ ~= rho and gamma ~= 16*Lambda"
-            .into(),
+        claim: "Theorem 5 remark: with T small vs Delta, rho~ ~= rho and gamma ~= 16*Lambda".into(),
         tables: vec![table],
         series: vec![bound_series, measured_series],
         notes: vec![format!("16*Lambda floor = {}", fmt_secs(16.0 * lambda))],

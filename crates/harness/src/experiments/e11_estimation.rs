@@ -10,8 +10,8 @@
 //! model. For `k ∈ {1, 2, 4, 8}` pings, take the sample with the smallest
 //! round trip and record the actual estimation error and its bound.
 
-use byzclock_core::OffsetSample;
 use byzclock_clock::LocalTime;
+use byzclock_core::OffsetSample;
 use byzclock_net::{DelayModel, UniformDelay};
 use byzclock_sim::{ProcId, RngHub};
 
@@ -101,13 +101,11 @@ pub fn run(mode: Mode) -> ExperimentReport {
         &["k", "mean deviation", "max deviation"],
     );
     let scenario = Scenario::standard(7, 2);
-    let horizon = byzclock_sim::RealTime::ZERO
-        + scenario.big_delta * mode.horizon_deltas(3.0, 6.0);
+    let horizon = byzclock_sim::RealTime::ZERO + scenario.big_delta * mode.horizon_deltas(3.0, 6.0);
     let mut mean_devs = Vec::new();
     for k in [1usize, 4] {
-        let tracker = DeviationTracker::measuring_from(
-            byzclock_sim::RealTime::ZERO + scenario.big_delta,
-        );
+        let tracker =
+            DeviationTracker::measuring_from(byzclock_sim::RealTime::ZERO + scenario.big_delta);
         let mut world = scenario
             .builder()
             .pings_per_peer(k)

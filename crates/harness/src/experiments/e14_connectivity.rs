@@ -40,13 +40,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
 
     let mut table = Table::new(
         "Connectivity sweep: G(n, p) under churn (n=13, f=2)",
-        &[
-            "p",
-            "min degree",
-            "connected",
-            "max dev",
-            "synced(<=gamma)",
-        ],
+        &["p", "min degree", "connected", "max dev", "synced(<=gamma)"],
     );
     let mut results: Vec<(f64, f64)> = Vec::new();
 
@@ -108,8 +102,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
 
     ExperimentReport {
         id: "E14",
-        title: "Connectivity requirement: between full mesh and the 3f+1 counterexample"
-            .into(),
+        title: "Connectivity requirement: between full mesh and the 3f+1 counterexample".into(),
         claim: "Section 5 (open question): some sufficiently-connected subgraph should do; \
                 we map where synchronization empirically starts to fail"
             .into(),

@@ -10,8 +10,8 @@
 //! (the released processors walk back in through the ordinary recovery
 //! path).
 
-use byzclock_adversary::{Adversary, CorruptionSchedule, RandomReplyStrategy};
 use byzclock_adversary::CorruptionInterval;
+use byzclock_adversary::{Adversary, CorruptionSchedule, RandomReplyStrategy};
 use byzclock_sim::{ProcId, RealTime};
 
 use crate::experiments::{ExperimentReport, Mode};

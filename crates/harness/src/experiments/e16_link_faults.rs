@@ -89,10 +89,8 @@ pub fn run(mode: Mode) -> ExperimentReport {
                 horizon,
                 scenario.big_delta * 0.25,
             );
-            builder = builder.adversary(Adversary::new(
-                schedule,
-                Box::new(ColluderStrategy::new()),
-            ));
+            builder =
+                builder.adversary(Adversary::new(schedule, Box::new(ColluderStrategy::new())));
         }
         let mut world = builder.build().expect("E16 world must build");
         world.add_observer(Box::new(tracker.clone()));

@@ -35,7 +35,13 @@ pub fn run(mode: Mode) -> ExperimentReport {
 
     let mut table = Table::new(
         "Message loss sweep (n=7, f=2, quiet; loss violates the reliable-link axiom)",
-        &["loss", "k=1 mean dev", "k=1 max dev", "k=4 mean dev", "k=4 max dev"],
+        &[
+            "loss",
+            "k=1 mean dev",
+            "k=1 max dev",
+            "k=4 mean dev",
+            "k=4 max dev",
+        ],
     );
     let mut all_pass = true;
     let mut high_loss_pair: Option<(f64, f64)> = None;
@@ -44,8 +50,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
         let mut row = vec![format!("{:.0}%", loss * 100.0)];
         let mut means = Vec::new();
         for k in [1usize, 4] {
-            let tracker =
-                DeviationTracker::measuring_from(RealTime::ZERO + scenario.big_delta);
+            let tracker = DeviationTracker::measuring_from(RealTime::ZERO + scenario.big_delta);
             let mut world = scenario
                 .builder()
                 .message_loss(loss)

@@ -38,7 +38,12 @@ pub fn run(mode: Mode) -> ExperimentReport {
 
     let disciplines = [
         (Discipline::Step, "step (paper Figure 1)"),
-        (Discipline::Slew { max_rate: slew_rate }, "slew (5000 ppm)"),
+        (
+            Discipline::Slew {
+                max_rate: slew_rate,
+            },
+            "slew (5000 ppm)",
+        ),
     ];
 
     let mut table = Table::new(
@@ -117,8 +122,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
 
     ExperimentReport {
         id: "E18",
-        title: "Correction disciplines: the recovery/smoothness tradeoff, continuous form"
-            .into(),
+        title: "Correction disciplines: the recovery/smoothness tradeoff, continuous form".into(),
         claim: "Section 5 outlook: NTP-style mechanisms can improve typical behaviour; slew \
                 buys monotone clocks at recovery time ~ offset/rate"
             .into(),

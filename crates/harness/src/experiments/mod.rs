@@ -27,6 +27,7 @@ pub mod e17_message_loss;
 pub mod e18_disciplines;
 pub mod e19_cached_estimation;
 pub mod e20_neighbors;
+pub mod e21_chaos;
 
 use serde::Serialize;
 
@@ -108,8 +109,11 @@ impl ExperimentReport {
     }
 }
 
+/// The signature every experiment's `run` function shares.
+pub type ExperimentRunner = fn(Mode) -> ExperimentReport;
+
 /// All experiments in order, as `(id, runner)` pairs.
-pub fn registry() -> Vec<(&'static str, fn(Mode) -> ExperimentReport)> {
+pub fn registry() -> Vec<(&'static str, ExperimentRunner)> {
     vec![
         ("E1", e01_deviation::run),
         ("E2", e02_contraction::run),
@@ -131,6 +135,7 @@ pub fn registry() -> Vec<(&'static str, fn(Mode) -> ExperimentReport)> {
         ("E18", e18_disciplines::run),
         ("E19", e19_cached_estimation::run),
         ("E20", e20_neighbors::run),
+        ("E21", e21_chaos::run),
     ]
 }
 
@@ -146,11 +151,11 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_ordered() {
         let ids: Vec<&str> = registry().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.len(), 21);
         let set: std::collections::HashSet<&&str> = ids.iter().collect();
-        assert_eq!(set.len(), 20);
+        assert_eq!(set.len(), 21);
         assert_eq!(ids[0], "E1");
-        assert_eq!(ids[19], "E20");
+        assert_eq!(ids[20], "E21");
     }
 
     #[test]

@@ -262,8 +262,7 @@ pub struct RecoveryRecord {
 impl RecoveryRecord {
     /// Recovery latency, if recovered.
     pub fn latency_secs(&self) -> Option<f64> {
-        self.recovered_at
-            .map(|r| (r - self.released_at).as_secs())
+        self.recovered_at.map(|r| (r - self.released_at).as_secs())
     }
 }
 
@@ -394,24 +393,9 @@ mod tests {
     #[test]
     fn deviation_tracker_takes_max() {
         let mut t = DeviationTracker::new();
-        t.on_sample(&sample(
-            1.0,
-            &[0.0, 0.1],
-            &[true, true],
-            &[false, false],
-        ));
-        t.on_sample(&sample(
-            2.0,
-            &[0.0, 0.3],
-            &[true, true],
-            &[false, false],
-        ));
-        t.on_sample(&sample(
-            3.0,
-            &[0.0, 0.2],
-            &[true, true],
-            &[false, false],
-        ));
+        t.on_sample(&sample(1.0, &[0.0, 0.1], &[true, true], &[false, false]));
+        t.on_sample(&sample(2.0, &[0.0, 0.3], &[true, true], &[false, false]));
+        t.on_sample(&sample(3.0, &[0.0, 0.2], &[true, true], &[false, false]));
         assert!((t.max_deviation().unwrap() - 0.3).abs() < 1e-12);
         assert_eq!(t.max_deviation_at().unwrap(), RealTime::from_secs(2.0));
         assert_eq!(t.series().len(), 3);
@@ -507,12 +491,7 @@ mod tests {
         let mut t = RecoveryTracker::new(0.5);
         t.on_release(ProcId(1), RealTime::from_secs(0.0));
         // bias looks fine but the node is corrupted again: not recovered
-        t.on_sample(&sample(
-            1.0,
-            &[0.0, 0.1],
-            &[true, false],
-            &[false, true],
-        ));
+        t.on_sample(&sample(1.0, &[0.0, 0.1], &[true, false], &[false, true]));
         assert_eq!(t.unrecovered(), 1);
     }
 

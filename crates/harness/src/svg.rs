@@ -81,7 +81,11 @@ pub fn render(series: &[&Series], options: &SvgOptions) -> String {
             s.points()
                 .iter()
                 .map(|&(x, y)| {
-                    let y = if options.log_y { y.max(1e-300).log10() } else { y };
+                    let y = if options.log_y {
+                        y.max(1e-300).log10()
+                    } else {
+                        y
+                    };
                     (x, y)
                 })
                 .collect()
@@ -179,7 +183,9 @@ fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -289,8 +289,11 @@ mod tests {
 
     #[test]
     fn per_link_override_applies_directionally() {
-        let mut m = PerLinkDelay::new(Box::new(ConstantDelay::new(ms(1.0))))
-            .with_link(ProcId(0), ProcId(1), Box::new(ConstantDelay::new(ms(9.0))));
+        let mut m = PerLinkDelay::new(Box::new(ConstantDelay::new(ms(1.0)))).with_link(
+            ProcId(0),
+            ProcId(1),
+            Box::new(ConstantDelay::new(ms(9.0))),
+        );
         let mut r = rng();
         assert_eq!(m.sample(ProcId(0), ProcId(1), &mut r), ms(9.0));
         // reverse direction uses fallback

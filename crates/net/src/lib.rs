@@ -26,5 +26,5 @@ pub mod network;
 pub mod topology;
 
 pub use delay::{ConstantDelay, DelayModel, PerLinkDelay, TruncatedNormalDelay, UniformDelay};
-pub use network::{LinkFilter, Network, NetworkStats, SendOutcome};
+pub use network::{DelaySpike, FaultProfile, LinkFilter, Network, NetworkStats, SendOutcome};
 pub use topology::Topology;

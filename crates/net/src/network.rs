@@ -107,6 +107,52 @@ pub struct NetworkStats {
     pub dropped: u64,
     /// Messages sent through the forged path (adversary traffic).
     pub forged: u64,
+    /// Extra copies injected by the duplication fault model.
+    pub duplicated: u64,
+    /// Deliveries whose delay was inflated by an active delay spike.
+    pub spiked: u64,
+}
+
+/// Probabilistic per-message fault injection, applied on top of routing.
+///
+/// Both faults step outside the paper's Section 2.2 "exactly once, in
+/// order of nothing" link axiom on purpose — they exist for chaos
+/// campaigns probing behaviour beyond the analyzed model. Zero
+/// probabilities (the default) reproduce the faithful model exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultProfile {
+    /// Probability that a delivered message is delivered *twice*, the
+    /// second copy with an independently sampled delay.
+    pub duplicate_probability: f64,
+    /// Probability that a delivery is pushed toward the tail of the delay
+    /// window (re-sampled uniformly in `[sampled delay, δ]`), making it
+    /// arrive after traffic sent later.
+    pub reorder_probability: f64,
+}
+
+impl FaultProfile {
+    /// True iff both fault probabilities are zero (the faithful model).
+    pub fn is_quiet(&self) -> bool {
+        self.duplicate_probability == 0.0 && self.reorder_probability == 0.0
+    }
+}
+
+/// A transient delay spike: while `now ∈ [from, until)`, sampled delays
+/// are multiplied by `factor`.
+///
+/// With `factor > 1` this **deliberately violates the δ bound** — the one
+/// assumption [`Network::new`] otherwise refuses to break. Spikes are the
+/// sanctioned escape hatch for chaos experiments that ask "what if the
+/// network is slower than the model promised?"; deliveries inflated past
+/// δ are counted in [`NetworkStats::spiked`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelaySpike {
+    /// Spike start (inclusive).
+    pub from: RealTime,
+    /// Spike end (exclusive).
+    pub until: RealTime,
+    /// Delay multiplier, `≥ 1` and finite.
+    pub factor: f64,
 }
 
 /// The network fabric.
@@ -139,6 +185,8 @@ pub struct Network {
     links: LinkFilter,
     stats: NetworkStats,
     loss_probability: f64,
+    faults: FaultProfile,
+    spikes: Vec<DelaySpike>,
 }
 
 impl Network {
@@ -165,7 +213,43 @@ impl Network {
             links: LinkFilter::new(),
             stats: NetworkStats::default(),
             loss_probability: 0.0,
+            faults: FaultProfile::default(),
+            spikes: Vec::new(),
         }
+    }
+
+    /// Configures probabilistic duplication/reordering faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn set_fault_profile(&mut self, profile: FaultProfile) {
+        assert!(
+            (0.0..=1.0).contains(&profile.duplicate_probability),
+            "duplicate probability must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&profile.reorder_probability),
+            "reorder probability must be in [0, 1]"
+        );
+        self.faults = profile;
+    }
+
+    /// Adds a transient delay spike (see [`DelaySpike`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or `factor` is below 1 / non-finite.
+    pub fn add_delay_spike(&mut self, spike: DelaySpike) {
+        assert!(
+            spike.until > spike.from,
+            "delay spike window must be non-empty"
+        );
+        assert!(
+            spike.factor.is_finite() && spike.factor >= 1.0,
+            "delay spike factor must be finite and >= 1"
+        );
+        self.spikes.push(spike);
     }
 
     /// Configures independent random message loss with probability `p`.
@@ -178,7 +262,10 @@ impl Network {
     ///
     /// Panics if `p` is not within `[0, 1)`.
     pub fn set_loss_probability(&mut self, p: f64) {
-        assert!((0.0..1.0).contains(&p), "loss probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "loss probability must be in [0, 1)"
+        );
         self.loss_probability = p;
     }
 
@@ -231,6 +318,56 @@ impl Network {
     ) -> SendOutcome {
         self.stats.forged += 1;
         self.route(claimed_from, to, now, rng)
+    }
+
+    /// Like [`Network::send`], but with the configured fault profile and
+    /// delay spikes applied: returns *every* delivery time for this send
+    /// (empty if dropped, two entries when the duplication fault fires).
+    ///
+    /// This is the entry point the runtime uses for honest traffic; with a
+    /// quiet [`FaultProfile`] and no spikes it is exactly `send`.
+    pub fn send_times(
+        &mut self,
+        from: ProcId,
+        to: ProcId,
+        now: RealTime,
+        rng: &mut DetRng,
+    ) -> Vec<RealTime> {
+        let mut times = Vec::with_capacity(1);
+        let Some(at) = self.route(from, to, now, rng).delivery_time() else {
+            return times;
+        };
+        times.push(self.apply_timing_faults(now, at, rng));
+        if self.faults.duplicate_probability > 0.0 && rng.chance(self.faults.duplicate_probability)
+        {
+            // Second copy with an independently sampled delay; loss and
+            // link checks already passed for the logical send.
+            let delay = self.delays.sample(from, to, rng);
+            self.stats.duplicated += 1;
+            times.push(self.apply_timing_faults(now, now + delay, rng));
+        }
+        times
+    }
+
+    /// Applies reordering and spike faults to one tentative delivery time.
+    fn apply_timing_faults(&mut self, now: RealTime, at: RealTime, rng: &mut DetRng) -> RealTime {
+        let mut delay = at.as_secs() - now.as_secs();
+        if self.faults.reorder_probability > 0.0 && rng.chance(self.faults.reorder_probability) {
+            // Push toward the tail of the window: still within δ, but now
+            // behind traffic sent later.
+            delay = rng.uniform(delay, self.delta.as_secs());
+        }
+        let factor = self
+            .spikes
+            .iter()
+            .filter(|s| s.from <= now && now < s.until)
+            .map(|s| s.factor)
+            .fold(1.0, f64::max);
+        if factor > 1.0 {
+            delay *= factor;
+            self.stats.spiked += 1;
+        }
+        now + SimDuration::from_secs(delay)
     }
 
     fn route(&mut self, from: ProcId, to: ProcId, now: RealTime, rng: &mut DetRng) -> SendOutcome {
@@ -399,6 +536,104 @@ mod tests {
         let frac = lost as f64 / total as f64;
         assert!((frac - 0.5).abs() < 0.05, "loss fraction {frac}");
         assert_eq!(net.stats().dropped, lost);
+    }
+
+    #[test]
+    fn send_times_matches_send_when_quiet() {
+        let mut net = mesh_net(3);
+        let times = net.send_times(ProcId(0), ProcId(1), RealTime::from_secs(1.0), &mut rng());
+        assert_eq!(times, vec![RealTime::from_secs(1.0) + ms(2.0)]);
+        // drops still yield no delivery
+        let times = net.send_times(ProcId(1), ProcId(1), RealTime::ZERO, &mut rng());
+        assert!(times.is_empty());
+        assert_eq!(net.stats().duplicated, 0);
+        assert_eq!(net.stats().spiked, 0);
+    }
+
+    #[test]
+    fn duplication_fault_delivers_extra_copies() {
+        let mut net = mesh_net(3);
+        net.set_fault_profile(FaultProfile {
+            duplicate_probability: 0.5,
+            reorder_probability: 0.0,
+        });
+        let mut r = rng();
+        let mut total = 0usize;
+        for _ in 0..1000 {
+            total += net
+                .send_times(ProcId(0), ProcId(1), RealTime::ZERO, &mut r)
+                .len();
+        }
+        let extra = total - 1000;
+        assert!(
+            (400..600).contains(&extra),
+            "expected ~500 duplicates, got {extra}"
+        );
+        assert_eq!(net.stats().duplicated as usize, extra);
+    }
+
+    #[test]
+    fn reorder_fault_stays_within_delta() {
+        let delta = ms(10.0);
+        let mut net = Network::new(
+            Topology::full_mesh(2),
+            Box::new(ConstantDelay::new(ms(1.0))),
+            delta,
+        );
+        net.set_fault_profile(FaultProfile {
+            duplicate_probability: 0.0,
+            reorder_probability: 1.0,
+        });
+        let mut r = rng();
+        let now = RealTime::from_secs(3.0);
+        let mut saw_late = false;
+        for _ in 0..200 {
+            let at = net.send_times(ProcId(0), ProcId(1), now, &mut r)[0];
+            assert!(at >= now + ms(1.0) && at <= now + delta, "at = {at}");
+            saw_late |= at > now + ms(5.0);
+        }
+        assert!(saw_late, "reordering should push some deliveries late");
+    }
+
+    #[test]
+    fn delay_spike_exceeds_delta_only_inside_window() {
+        let mut net = mesh_net(2);
+        net.add_delay_spike(DelaySpike {
+            from: RealTime::from_secs(10.0),
+            until: RealTime::from_secs(20.0),
+            factor: 4.0,
+        });
+        let mut r = rng();
+        let close = |a: RealTime, b: RealTime| (a.as_secs() - b.as_secs()).abs() < 1e-12;
+        // outside the window: the base 2 ms delay
+        let at = net.send_times(ProcId(0), ProcId(1), RealTime::from_secs(5.0), &mut r)[0];
+        assert!(close(at, RealTime::from_secs(5.0) + ms(2.0)), "at = {at}");
+        // inside: 4x the sampled delay
+        let at = net.send_times(ProcId(0), ProcId(1), RealTime::from_secs(15.0), &mut r)[0];
+        assert!(close(at, RealTime::from_secs(15.0) + ms(8.0)), "at = {at}");
+        assert_eq!(net.stats().spiked, 1);
+        // past the window: back to normal
+        let at = net.send_times(ProcId(0), ProcId(1), RealTime::from_secs(25.0), &mut r)[0];
+        assert!(close(at, RealTime::from_secs(25.0) + ms(2.0)), "at = {at}");
+    }
+
+    #[test]
+    #[should_panic(expected = "reorder probability")]
+    fn fault_profile_rejects_bad_probability() {
+        mesh_net(2).set_fault_profile(FaultProfile {
+            duplicate_probability: 0.0,
+            reorder_probability: 1.5,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn delay_spike_rejects_shrinking_factor() {
+        mesh_net(2).add_delay_spike(DelaySpike {
+            from: RealTime::ZERO,
+            until: RealTime::from_secs(1.0),
+            factor: 0.5,
+        });
     }
 
     #[test]

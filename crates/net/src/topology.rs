@@ -230,8 +230,8 @@ impl Topology {
         seen[0] = true;
         let mut count = 1;
         while let Some(i) = queue.pop_front() {
-            for j in 0..self.n {
-                if self.adj[i][j] && !seen[j] {
+            for (j, &connected) in self.adj[i].iter().enumerate() {
+                if connected && !seen[j] {
                     seen[j] = true;
                     count += 1;
                     queue.push_back(j);
@@ -314,10 +314,7 @@ mod tests {
         assert_eq!(t.len(), 2 * half);
         // intra-clique edges present
         assert!(t.are_connected(ProcId(0), ProcId((half - 1) as u32)));
-        assert!(t.are_connected(
-            ProcId(half as u32),
-            ProcId((2 * half - 1) as u32)
-        ));
+        assert!(t.are_connected(ProcId(half as u32), ProcId((2 * half - 1) as u32)));
         // matching edges
         for i in 0..half {
             assert!(t.are_connected(ProcId(i as u32), ProcId((half + i) as u32)));

@@ -21,7 +21,7 @@ use byzclock_core::{
     BoundsError as CoreBoundsError, ConvergenceFn, EstimationMode, NetworkModel, PaperSync,
     ProtocolParams, SyncNode, TheoremBounds,
 };
-use byzclock_net::{DelayModel, Network, Topology, UniformDelay};
+use byzclock_net::{DelayModel, DelaySpike, FaultProfile, Network, Topology, UniformDelay};
 use byzclock_sim::{Engine, ProcId, RealTime, RngHub, SimDuration};
 use std::fmt;
 
@@ -127,7 +127,10 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::Bounds(e) => write!(f, "parameter derivation failed: {e}"),
             BuildError::InitialBiasLength { expected, got } => {
-                write!(f, "initial bias vector has length {got}, expected {expected}")
+                write!(
+                    f,
+                    "initial bias vector has length {got}, expected {expected}"
+                )
             }
             BuildError::TopologySize { expected, got } => {
                 write!(f, "topology has {got} nodes, expected {expected}")
@@ -168,6 +171,9 @@ pub struct WorldBuilder {
     pings_per_peer: usize,
     link_outages: Vec<LinkOutage>,
     message_loss: f64,
+    net_faults: FaultProfile,
+    delay_spikes: Vec<DelaySpike>,
+    restarts: Vec<(RealTime, ProcId)>,
     discipline: Discipline,
     estimation: EstimationMode,
 }
@@ -208,6 +214,9 @@ impl WorldBuilder {
             pings_per_peer: 1,
             link_outages: Vec::new(),
             message_loss: 0.0,
+            net_faults: FaultProfile::default(),
+            delay_spikes: Vec::new(),
+            restarts: Vec::new(),
             discipline: Discipline::Step,
             estimation: EstimationMode::PerRound,
         }
@@ -346,6 +355,28 @@ impl WorldBuilder {
         self
     }
 
+    /// Probabilistic message duplication/reordering faults — outside the
+    /// paper's exactly-once link axiom on purpose (chaos campaigns, E21).
+    pub fn net_faults(mut self, profile: FaultProfile) -> Self {
+        self.net_faults = profile;
+        self
+    }
+
+    /// Transient delay spikes that deliberately violate the δ bound
+    /// (chaos campaigns, E21). See [`DelaySpike`].
+    pub fn delay_spikes(mut self, spikes: Vec<DelaySpike>) -> Self {
+        self.delay_spikes = spikes;
+        self
+    }
+
+    /// Schedules benign crash+reboot events: at each `(at, node)` the node
+    /// loses volatile protocol state and restarts from its persistent
+    /// clock. See [`World::schedule_restart`].
+    pub fn restarts(mut self, restarts: Vec<(RealTime, ProcId)>) -> Self {
+        self.restarts = restarts;
+        self
+    }
+
     /// Estimation mode: fresh per-round ping/pong (the analyzed protocol)
     /// or the cached background-refresher variant the paper's Section 3.1
     /// warns about (experiment E19).
@@ -428,6 +459,12 @@ impl WorldBuilder {
         if self.message_loss > 0.0 {
             network.set_loss_probability(self.message_loss);
         }
+        if !self.net_faults.is_quiet() {
+            network.set_fault_profile(self.net_faults);
+        }
+        for spike in &self.delay_spikes {
+            network.add_delay_spike(*spike);
+        }
 
         let initial_biases: Vec<f64> = match &self.initial_bias {
             InitialBias::Zero => vec![0.0; self.n],
@@ -483,15 +520,17 @@ impl WorldBuilder {
             };
             let rate = drift.initial_rate(&mut drift_rng);
             let hardware = HardwareClock::new(rate);
-            let clock = LogicalClock::with_adjustment(
-                hardware,
-                SimDuration::from_secs(initial_biases[i]),
-            );
+            let clock =
+                LogicalClock::with_adjustment(hardware, SimDuration::from_secs(initial_biases[i]));
             if let Some((when, new_rate)) = drift.next_change(RealTime::ZERO, &mut drift_rng) {
                 engine.schedule_at(when, SimEvent::DriftChange { node: id, new_rate });
             }
+            // Each node's anti-replay nonces come from a private fork of the
+            // root seed: unpredictable to peers, reproducible from `seed`.
+            let nonce_seed = hub.stream("nonce", i as u64).bits64();
             let node = SyncNode::with_convergence(id, params, self.convergence.box_clone())
-                .with_estimation(self.estimation);
+                .with_estimation(self.estimation)
+                .with_nonce_seed(nonce_seed);
             nodes.push(NodeSlot::new(clock, node, drift, drift_rng));
         }
 
@@ -503,7 +542,12 @@ impl WorldBuilder {
             } else {
                 RealTime::ZERO
             };
-            engine.schedule_at(at, SimEvent::StartNode { node: ProcId(i as u32) });
+            engine.schedule_at(
+                at,
+                SimEvent::StartNode {
+                    node: ProcId(i as u32),
+                },
+            );
         }
 
         for outage in &self.link_outages {
@@ -521,6 +565,10 @@ impl WorldBuilder {
                     b: outage.b,
                 },
             );
+        }
+
+        for &(at, node) in &self.restarts {
+            engine.schedule_at(at, SimEvent::Restart { node });
         }
 
         let adversary = self.adversary.unwrap_or_default();
@@ -616,7 +664,10 @@ mod tests {
 
     #[test]
     fn way_off_override_applies() {
-        let w = WorldBuilder::new(4, 1).way_off_override(42.0).build().unwrap();
+        let w = WorldBuilder::new(4, 1)
+            .way_off_override(42.0)
+            .build()
+            .unwrap();
         assert_eq!(w.params().way_off(), 42.0);
     }
 

@@ -66,6 +66,17 @@ pub enum SimEvent {
         /// The other endpoint.
         b: ProcId,
     },
+    /// A node crashes and reboots: all volatile protocol state (pending
+    /// round, alarms) is lost; the logical clock survives (it is the
+    /// paper's persistent `adj` variable). Distinct from [`Corrupt`] — a
+    /// restarted node was never under adversary control, so it stays in
+    /// the good set.
+    ///
+    /// [`Corrupt`]: SimEvent::Corrupt
+    Restart {
+        /// The rebooting node.
+        node: ProcId,
+    },
     /// Metrics sampling tick.
     Sample,
 }

@@ -93,6 +93,11 @@ pub trait Observer {
     fn on_release(&mut self, node: ProcId, tau: RealTime) {
         let _ = (node, tau);
     }
+
+    /// `node` crashed and rebooted (benign restart, not a corruption).
+    fn on_restart(&mut self, node: ProcId, tau: RealTime) {
+        let _ = (node, tau);
+    }
 }
 
 #[cfg(test)]
@@ -154,5 +159,6 @@ mod tests {
         o.on_adjustment(ProcId(0), 0.1, RealTime::ZERO, true);
         o.on_corrupt(ProcId(0), RealTime::ZERO);
         o.on_release(ProcId(0), RealTime::ZERO);
+        o.on_restart(ProcId(0), RealTime::ZERO);
     }
 }

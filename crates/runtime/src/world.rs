@@ -176,7 +176,10 @@ impl World {
         let biases = self.nodes.iter().map(|s| s.clock.bias(tau)).collect();
         let corrupt = self.nodes.iter().map(|s| s.corrupted()).collect();
         let good = (0..self.nodes.len())
-            .map(|i| self.adversary.good_at(ProcId(i as u32), tau, self.big_delta))
+            .map(|i| {
+                self.adversary
+                    .good_at(ProcId(i as u32), tau, self.big_delta)
+            })
             .collect();
         WorldSample {
             tau,
@@ -226,8 +229,38 @@ impl World {
                 );
                 self.network.links_mut().restore(a, b)
             }
+            SimEvent::Restart { node } => self.restart(tau, node),
             SimEvent::Sample => self.sample_tick(),
         }
+    }
+
+    /// Schedules a benign crash+reboot of `node` at `at`: volatile protocol
+    /// state (active round, alarms) is wiped; the persistent `adj` survives.
+    /// No-op at fire time if the node is then under adversary control (the
+    /// corruption already wiped more, and Release will restart it).
+    pub fn schedule_restart(&mut self, at: RealTime, node: ProcId) {
+        self.engine.schedule_at(at, SimEvent::Restart { node });
+    }
+
+    fn restart(&mut self, tau: RealTime, node: ProcId) {
+        let idx = node.index();
+        if self.nodes[idx].corrupted() {
+            return;
+        }
+        // Crash: all pending alarms die with the process.
+        self.nodes[idx].timer_gen += 1;
+        for p in std::mem::take(&mut self.nodes[idx].pending) {
+            self.engine.cancel(p.engine_id);
+        }
+        self.trace
+            .record(tau, TraceLevel::Info, "node", format!("restart {node}"));
+        self.notify(|o| o.on_restart(node, tau));
+        // Reboot: re-enter the protocol from the persistent clock alone —
+        // the paper's tiny-recovery-state property makes this identical to
+        // a cold start.
+        let local_now = self.local_now(node);
+        let outputs = self.nodes[idx].node.handle(Input::Start { local_now });
+        self.apply_outputs(node, outputs);
     }
 
     fn start_node(&mut self, node: ProcId) {
@@ -260,7 +293,13 @@ impl World {
     }
 
     /// A corrupted node received a message: the adversary decides.
-    fn adversary_receives(&mut self, tau: RealTime, victim: ProcId, from: ProcId, msg: WireMessage) {
+    fn adversary_receives(
+        &mut self,
+        tau: RealTime,
+        victim: ProcId,
+        from: ProcId,
+        msg: WireMessage,
+    ) {
         let WireMessage::Ping { round, nonce } = msg else {
             return; // the adversary has no use for pongs to its victims
         };
@@ -415,8 +454,12 @@ impl World {
         }
         match self.adversary.on_corrupt(node, &mut self.adv_rng) {
             ClockSabotage::None => {
-                self.trace
-                    .record(tau, TraceLevel::Warn, "adversary", format!("corrupt {node}"));
+                self.trace.record(
+                    tau,
+                    TraceLevel::Warn,
+                    "adversary",
+                    format!("corrupt {node}"),
+                );
             }
             ClockSabotage::SetBias(b) => {
                 let target = LocalTime::from_secs(tau.as_secs() + b);
@@ -442,8 +485,12 @@ impl World {
         if self.nodes[idx].corruption_depth > 0 {
             return;
         }
-        self.trace
-            .record(tau, TraceLevel::Warn, "adversary", format!("release {node}"));
+        self.trace.record(
+            tau,
+            TraceLevel::Warn,
+            "adversary",
+            format!("release {node}"),
+        );
         self.notify(|o| o.on_release(node, tau));
         // Recovery: the processor reboots its protocol with whatever clock
         // the adversary left behind.
@@ -465,11 +512,9 @@ impl World {
         for output in outputs {
             match output {
                 Output::Send { to, msg } => {
-                    if let Some(at) = self
-                        .network
-                        .send(node, to, tau, &mut self.net_rng)
-                        .delivery_time()
-                    {
+                    // send_times yields zero (lost), one, or — under the
+                    // chaos fault profile — several delivery instants.
+                    for at in self.network.send_times(node, to, tau, &mut self.net_rng) {
                         self.engine.schedule_at(
                             at,
                             SimEvent::Deliver {
@@ -758,6 +803,98 @@ mod tests {
         assert!(adv_events[0].contains("corrupt p1"));
         assert!(adv_events[0].contains("clock reset"));
         assert!(adv_events[1].contains("release p1"));
+    }
+
+    #[test]
+    fn restart_wipes_volatile_state_and_node_rejoins() {
+        use crate::observer::Observer;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct RestartProbe(Rc<RefCell<Vec<(ProcId, RealTime)>>>);
+        impl Observer for RestartProbe {
+            fn on_restart(&mut self, node: ProcId, tau: RealTime) {
+                self.0.borrow_mut().push((node, tau));
+            }
+        }
+
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut w = quiet_world(17);
+        w.add_observer(Box::new(RestartProbe(Rc::clone(&seen))));
+        w.schedule_restart(t(30.0), ProcId(1));
+        w.run_until(t(120.0));
+        assert_eq!(*seen.borrow(), vec![(ProcId(1), t(30.0))]);
+        let restarts: Vec<String> = w
+            .trace()
+            .by_subsystem("node")
+            .map(|e| e.message.clone())
+            .collect();
+        assert!(
+            restarts.iter().any(|m| m.contains("restart p1")),
+            "{restarts:?}"
+        );
+        // the rebooted node keeps syncing and stays in the good set
+        let s = w.sample_now();
+        assert!(
+            s.good[1],
+            "a benign restart must not evict from the good set"
+        );
+        assert!(s.good_deviation().unwrap() < 0.05);
+        assert!(w.rounds_completed(ProcId(1)) > 3);
+    }
+
+    #[test]
+    fn restart_during_corruption_is_a_noop() {
+        let schedule = CorruptionSchedule::single(ProcId(2), t(10.0), d(10.0));
+        let adversary = Adversary::new(schedule, Box::new(ConstantOffsetStrategy::new(5.0)));
+        let mut w = WorldBuilder::new(4, 1)
+            .seed(23)
+            .big_delta(d(40.0))
+            .adversary(adversary)
+            .build()
+            .unwrap();
+        w.schedule_restart(t(15.0), ProcId(2));
+        w.run_until(t(30.0));
+        assert_eq!(w.trace().by_subsystem("node").count(), 0);
+    }
+
+    #[test]
+    fn duplication_and_reordering_do_not_break_convergence() {
+        use byzclock_net::FaultProfile;
+        // Duplicated pongs are replays of a consumed (round, nonce) slot and
+        // must be discarded; reordering stays within δ so the analysis holds.
+        let mut w = WorldBuilder::new(4, 1)
+            .seed(29)
+            .delta(SimDuration::from_millis(10.0))
+            .big_delta(d(40.0))
+            .initial_bias_spread(0.5)
+            .net_faults(FaultProfile {
+                duplicate_probability: 0.3,
+                reorder_probability: 0.3,
+            })
+            .build()
+            .unwrap();
+        w.run_until(t(120.0));
+        assert!(w.network_stats().duplicated > 0, "faults should have fired");
+        let dev = w.sample_now().good_deviation().unwrap();
+        assert!(dev < 0.05, "deviation {dev} too large under dup/reorder");
+    }
+
+    #[test]
+    fn delay_spikes_flow_through_builder() {
+        use byzclock_net::DelaySpike;
+        let mut w = WorldBuilder::new(4, 1)
+            .seed(31)
+            .big_delta(d(40.0))
+            .delay_spikes(vec![DelaySpike {
+                from: t(10.0),
+                until: t(20.0),
+                factor: 3.0,
+            }])
+            .build()
+            .unwrap();
+        w.run_until(t(60.0));
+        assert!(w.network_stats().spiked > 0, "spike window saw no traffic");
     }
 
     #[test]

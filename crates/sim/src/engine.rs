@@ -134,10 +134,7 @@ impl<T> Engine<T> {
     pub fn advance_to(&mut self, deadline: RealTime) {
         assert!(deadline >= self.now, "advance_to into the past");
         if let Some(t) = self.queue.peek_time() {
-            assert!(
-                t > deadline,
-                "advance_to would skip a pending event at {t}"
-            );
+            assert!(t > deadline, "advance_to would skip a pending event at {t}");
         }
         self.now = deadline;
     }

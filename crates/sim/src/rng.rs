@@ -122,6 +122,11 @@ impl DetRng {
         mean + std_dev * self.normal()
     }
 
+    /// Raw 64 random bits (e.g. for nonces and derived seeds).
+    pub fn bits64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
@@ -247,6 +252,15 @@ mod tests {
         let mut r = RngHub::new(23).stream("i", 0);
         for _ in 0..1000 {
             assert!(r.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn bits64_matches_rngcore_stream() {
+        let mut a = RngHub::new(37).stream("bits", 0);
+        let mut b = RngHub::new(37).stream("bits", 0);
+        for _ in 0..16 {
+            assert_eq!(a.bits64(), b.next_u64());
         }
     }
 

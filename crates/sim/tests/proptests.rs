@@ -44,7 +44,7 @@ proptest! {
                         let was_live = q.cancel(id);
                         if was_live {
                             // map our payload (same index) as cancelled
-                            let payload = (id.as_u64()) as u64;
+                            let payload = id.as_u64();
                             cancelled.insert(payload);
                             live.remove(&payload);
                         }

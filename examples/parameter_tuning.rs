@@ -31,17 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             big_delta,
         };
         let mut table = Table::new(
-            format!(
-                "{name}: delta = {delta}, rho = {rho:.0e}, Delta = {big_delta} (n={n}, f={f})"
-            ),
-            &[
-                "K",
-                "SyncInt",
-                "gamma",
-                "rho~",
-                "WayOff",
-                "msgs/node/Delta",
-            ],
+            format!("{name}: delta = {delta}, rho = {rho:.0e}, Delta = {big_delta} (n={n}, f={f})"),
+            &["K", "SyncInt", "gamma", "rho~", "WayOff", "msgs/node/Delta"],
         );
         for k in [5u32, 8, 16, 32, 64] {
             match model.derive(n, f, k) {
@@ -70,10 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         println!("{table}");
-        println!(
-            "   16*Lambda floor: {}\n",
-            fmt_secs(16.0 * model.lambda)
-        );
+        println!("   16*Lambda floor: {}\n", fmt_secs(16.0 * model.lambda));
     }
 
     println!(

@@ -34,14 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A rotating adversary that eventually corrupts every node (cumulative
     // corruptions far beyond n) while staying f-limited per Delta.
-    let schedule = CorruptionSchedule::rotating(
-        n,
-        f,
-        big_delta * 0.5,
-        big_delta,
-        horizon,
-        big_delta * 0.25,
-    );
+    let schedule =
+        CorruptionSchedule::rotating(n, f, big_delta * 0.5, big_delta, horizon, big_delta * 0.25);
     schedule
         .verify_f_limited(f, big_delta, horizon)
         .expect("schedule must satisfy Definition 2");
@@ -72,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut split_violations = 0u64; // good nodes >1 period apart
     let mut disagree_windows: BTreeMap<u64, (f64, f64)> = BTreeMap::new();
     while now < horizon {
-        now = now + step;
+        now += step;
         world.run_until(now);
         let sample = world.sample_now();
         let periods: Vec<u64> = (0..n)

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Theorem 5 guarantees:");
     println!("  gamma (max deviation)  = {}", fmt_secs(bounds.gamma));
     println!("  rho~  (logical drift)  = {:.3e}", bounds.logical_drift);
-    println!("  psi   (discontinuity)  = {}", fmt_secs(bounds.discontinuity));
+    println!(
+        "  psi   (discontinuity)  = {}",
+        fmt_secs(bounds.discontinuity)
+    );
     println!();
 
     let tracker = DeviationTracker::new();

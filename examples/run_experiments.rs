@@ -1,4 +1,4 @@
-//! Runs the complete experiment suite (E1–E20) and writes the reports.
+//! Runs the complete experiment suite (E1–E21) and writes the reports.
 //!
 //! Usage:
 //!
@@ -41,10 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             failed.push(id);
         }
         if json {
-            std::fs::write(
-                format!("experiment-reports/{id}.json"),
-                report.to_json(),
-            )?;
+            std::fs::write(format!("experiment-reports/{id}.json"), report.to_json())?;
         }
         if svg {
             use byzclock::harness::svg::{render, SvgOptions};

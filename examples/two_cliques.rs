@@ -17,16 +17,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Clique A's crystals run fast, clique B's slow — both legal.
     let rates: Vec<f64> = (0..n)
-        .map(|i| if i < half { 1.0 + rho } else { 1.0 / (1.0 + rho) })
+        .map(|i| {
+            if i < half {
+                1.0 + rho
+            } else {
+                1.0 / (1.0 + rho)
+            }
+        })
         .collect();
 
     let gap = |world: &World| -> f64 {
         let s = world.sample_now();
         let mean = |lo: usize, hi: usize| {
-            (lo..hi)
-                .map(|i| s.biases[i].as_secs())
-                .sum::<f64>()
-                / (hi - lo) as f64
+            (lo..hi).map(|i| s.biases[i].as_secs()).sum::<f64>() / (hi - lo) as f64
         };
         (mean(0, half) - mean(half, n)).abs()
     };
@@ -49,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("two cliques of {half} + perfect matching vs full mesh (n = {n}, f = {f})");
     println!("clique A rate 1+rho, clique B rate 1/(1+rho), rho = {rho:.0e}");
     println!("deviation bound gamma = {}\n", fmt_secs(gamma));
-    println!("{:>6} | {:>16} | {:>16}", "t (s)", "two-cliques gap", "full-mesh gap");
+    println!(
+        "{:>6} | {:>16} | {:>16}",
+        "t (s)", "two-cliques gap", "full-mesh gap"
+    );
 
     for minutes in 1..=20u64 {
         let t = RealTime::from_secs(60.0 * minutes as f64);

@@ -18,7 +18,7 @@
 //! | [`adversary`] | f-limited mobile Byzantine adversary and attack strategies |
 //! | [`core`] | **the paper's protocol**: `SyncNode`, convergence functions, Theorem 5 bounds |
 //! | [`runtime`] | the `World` binding everything, with observer hooks |
-//! | [`harness`] | metrics, experiment suite E1–E20, tables/series |
+//! | [`harness`] | metrics, experiment suite E1–E21, tables/series |
 //!
 //! ## Quickstart
 //!
@@ -71,8 +71,8 @@ pub use byzclock_harness as harness;
 /// The most common imports in one place.
 pub mod prelude {
     pub use byzclock_adversary::{
-        Adversary, ByzantineStrategy, ColluderStrategy, ConstantOffsetStrategy,
-        CorruptionSchedule, CrashStrategy, RandomReplyStrategy, SplitBrainStrategy,
+        Adversary, ByzantineStrategy, ColluderStrategy, ConstantOffsetStrategy, CorruptionSchedule,
+        CrashStrategy, RandomReplyStrategy, SplitBrainStrategy,
     };
     pub use byzclock_clock::{Bias, LocalTime};
     pub use byzclock_core::{

@@ -82,7 +82,9 @@ fn drift_without_sync_diverges_but_sync_holds() {
     use byzclock::core::NoOpConvergence;
     let rho = 1e-4;
     let run = |convergence: bool| -> f64 {
-        let mut b = base_builder(5, 1, 9).rho(rho).drift(DriftSpec::ConstantRandomRate);
+        let mut b = base_builder(5, 1, 9)
+            .rho(rho)
+            .drift(DriftSpec::ConstantRandomRate);
         if !convergence {
             b = b.convergence(Box::new(NoOpConvergence));
         }

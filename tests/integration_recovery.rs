@@ -166,7 +166,10 @@ fn overlapping_corruption_episodes_are_handled() {
         .build()
         .unwrap();
     world.run_until(RealTime::from_secs(50.0));
-    assert!(world.is_corrupt(ProcId(3)), "still inside the second episode");
+    assert!(
+        world.is_corrupt(ProcId(3)),
+        "still inside the second episode"
+    );
     world.run_until(RealTime::from_secs(BIG_DELTA * 4.0));
     assert!(!world.is_corrupt(ProcId(3)));
     assert!(

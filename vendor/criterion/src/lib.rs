@@ -1,0 +1,173 @@
+//! Offline stand-in for `criterion` (API subset used by byzclock's
+//! `benches/micro.rs`).
+//!
+//! Runs each benchmark closure for a short, fixed wall-clock budget and
+//! prints mean iteration time. No statistics, plots, or baselines — just
+//! enough to keep `cargo bench` meaningful (relative timings) and the bench
+//! targets compiling without network access to crates.io.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly within a small budget and records the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget {
+            black_box(f());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.total = start.elapsed();
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let mean = b.total.as_secs_f64() / b.iters as f64;
+    let (value, unit) = if mean < 1e-6 {
+        (mean * 1e9, "ns")
+    } else if mean < 1e-3 {
+        (mean * 1e6, "µs")
+    } else {
+        (mean * 1e3, "ms")
+    };
+    println!("{name:<40} {value:>10.3} {unit}/iter ({} iters)", b.iters);
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            total: Duration::ZERO,
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            total: Duration::ZERO,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), &b);
+        self
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            total: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), &b);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier with a function name and parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id like `"paper-sync/64"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+/// Groups benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_compiles_and_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,578 @@
+//! Offline stand-in for `proptest` (API subset used by byzclock).
+//!
+//! Implements the strategy combinators and macros the workspace's property
+//! tests use — `proptest!`, `prop_assert*`, `prop_oneof!`, ranges, `any`,
+//! `collection::vec`, `Just`, `prop_map`, simple `[a-z]{m,n}` string
+//! patterns — on top of a deterministic per-test RNG. Differences from the
+//! real crate:
+//!
+//! * no shrinking: a failing case panics with the sampled inputs instead of
+//!   a minimized counterexample;
+//! * case generation is seeded from the test name, so every run explores
+//!   the same (deterministic) cases;
+//! * `prop_assert!` is a plain `assert!` (panic-based).
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    /// Per-test configuration, struct-update compatible with
+    /// `ProptestConfig::default()`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+        /// Accepted for compatibility; rejection sampling is not used.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Deterministic SplitMix64 stream seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates the stream for a named test.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in name.as_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, n)` for `n > 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below: empty range");
+            self.next_u64() % n
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through a function.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn sample_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// A type-erased strategy (cheaply clonable).
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample_dyn(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (u128::from(rng.next_u64()) % span) as i128;
+                    (self.start as i128 + v) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_strategy_float {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let v = self.start + (rng.unit_f64() as $t) * (self.end - self.start);
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_float!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+    }
+
+    /// `&str` as a strategy: a tiny `[class]{m,n}` pattern language
+    /// (e.g. `"[a-z]{1,8}"`); anything unparseable is treated literally.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            match parse_pattern(self) {
+                Some((chars, lo, hi)) => {
+                    let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+                    (0..len)
+                        .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                        .collect()
+                }
+                None => (*self).to_string(),
+            }
+        }
+    }
+
+    fn parse_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let (class, rest) = rest.split_once(']')?;
+        let mut chars = Vec::new();
+        let cs: Vec<char> = class.chars().collect();
+        let mut i = 0;
+        while i < cs.len() {
+            if i + 2 < cs.len() && cs[i + 1] == '-' {
+                for c in cs[i]..=cs[i + 2] {
+                    chars.push(c);
+                }
+                i += 3;
+            } else {
+                chars.push(cs[i]);
+                i += 1;
+            }
+        }
+        if chars.is_empty() {
+            return None;
+        }
+        if rest.is_empty() {
+            return Some((chars, 1, 1));
+        }
+        let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = match counts.split_once(',') {
+            Some((a, b)) => (a.parse().ok()?, b.parse().ok()?),
+            None => {
+                let n = counts.parse().ok()?;
+                (n, n)
+            }
+        };
+        (lo <= hi).then_some((chars, lo, hi))
+    }
+
+    /// Weighted choice among type-erased alternatives (`prop_oneof!`).
+    pub struct OneOf<T> {
+        alternatives: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.alternatives {
+                if pick < u64::from(*w) {
+                    return s.sample(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            unreachable!("weights covered the whole range")
+        }
+    }
+
+    /// Builds the [`OneOf`] strategy behind `prop_oneof!`.
+    pub fn one_of<T>(alternatives: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+        let total: u64 = alternatives.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        OneOf {
+            alternatives,
+            total,
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::num::f64::sample_normal_float(rng)
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn sample(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `A` (`any::<u64>()` etc.).
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A length range for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with element strategy and length range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod num {
+    /// Strategies over `f64`.
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        pub(crate) fn sample_normal_float(rng: &mut TestRng) -> f64 {
+            // uniform sign/exponent over the normal (non-subnormal, finite)
+            // range, uniform mantissa — spans magnitudes like proptest's
+            // f64::NORMAL rather than clustering near one scale
+            let sign = rng.next_u64() & 1 == 1;
+            let exponent = 1 + rng.below(2046); // biased exponent, finite & normal
+            let mantissa = rng.next_u64() & ((1u64 << 52) - 1);
+            let bits = ((sign as u64) << 63) | (exponent << 52) | mantissa;
+            f64::from_bits(bits)
+        }
+
+        /// Strategy for normal (finite, non-subnormal) floats.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Normal;
+
+        impl Strategy for Normal {
+            type Value = f64;
+            fn sample(&self, rng: &mut TestRng) -> f64 {
+                sample_normal_float(rng)
+            }
+        }
+
+        /// All normal floats, like `proptest::num::f64::NORMAL`.
+        pub const NORMAL: Normal = Normal;
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for both booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Uniform boolean, like `proptest::bool::ANY`.
+    pub const ANY: AnyBool = AnyBool;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn` runs `cases` times with fresh samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__cfg.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (panic-based here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Weighted (or unweighted) choice among strategies for one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Pick {
+        A,
+        B(u32),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -2.5f64..2.5, n in 1usize..9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec(0u8..5, 0..10),
+            s in "[a-z]{1,8}",
+            t in (0u32..4, crate::bool::ANY),
+            pick in prop_oneof![
+                2 => Just(Pick::A),
+                1 => (10u32..20).prop_map(Pick::B),
+            ],
+            norm in crate::num::f64::NORMAL.prop_map(|v| v % 1e9),
+            anything in any::<u64>(),
+        ) {
+            prop_assert!(v.len() < 10 && v.iter().all(|&b| b < 5));
+            prop_assert!((1..=8).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(t.0 < 4);
+            if let Pick::B(b) = pick {
+                prop_assert!((10..20).contains(&b));
+            }
+            prop_assert!(norm.is_finite());
+            prop_assert_ne!(anything, anything.wrapping_add(1));
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_test("x");
+        let mut b = crate::test_runner::TestRng::for_test("x");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

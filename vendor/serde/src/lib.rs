@@ -1,0 +1,336 @@
+//! Offline stand-in for `serde` (data-model subset used by byzclock).
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors a
+//! minimal serde look-alike. Instead of the visitor-based zero-copy data
+//! model, types convert to and from an owned [`Value`] tree (the JSON data
+//! model plus a distinct `U64`/`I64` split so 64-bit nonces round-trip
+//! bit-exactly). The derive macros in `serde_derive` generate the same
+//! external shape real serde would: structs as maps, newtypes transparent,
+//! enums externally tagged.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A negative integer (or any integer parsed with a leading `-`).
+    I64(i64),
+    /// A non-negative integer; kept exact so `u64` nonces round-trip.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(v) => Some(v),
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// Exact `u64` view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| Error::msg(format!("expected unsigned integer, found {v:?}")))?;
+                <$t>::try_from(raw).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match *v {
+                    Value::I64(x) => x,
+                    Value::U64(x) => {
+                        i64::try_from(x).map_err(|_| Error::msg("integer out of range"))?
+                    }
+                    ref other => {
+                        return Err(Error::msg(format!("expected integer, found {other:?}")))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_f64()
+                    .map(|x| x as $t)
+                    .ok_or_else(|| Error::msg(format!("expected number, found {v:?}")))
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected sequence, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = [$($idx),+].len();
+                match v {
+                    Value::Seq(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::msg(format!(
+                        "expected {LEN}-tuple, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Derive-internal: field lookup that reports missing fields as `Null`
+/// (so `Option` fields default to `None`, like real serde's `Option`
+/// handling, and every other type produces a clear error).
+#[doc(hidden)]
+pub fn __get_field<'a>(v: &'a Value, name: &str) -> &'a Value {
+    static NULL: Value = Value::Null;
+    v.get(name).unwrap_or(&NULL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let p = (1.5f64, 2.5f64);
+        assert_eq!(<(f64, f64)>::from_value(&p.to_value()).unwrap(), p);
+        assert_eq!(
+            Option::<u32>::from_value(&Value::Null).unwrap(),
+            None::<u32>
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::U64(5)).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn missing_field_is_null() {
+        let v = Value::Map(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(__get_field(&v, "a"), &Value::U64(1));
+        assert_eq!(__get_field(&v, "b"), &Value::Null);
+    }
+
+    #[test]
+    fn integer_widening() {
+        assert_eq!(f64::from_value(&Value::U64(3)).unwrap(), 3.0);
+        assert_eq!(f64::from_value(&Value::I64(-3)).unwrap(), -3.0);
+        assert!(u32::from_value(&Value::U64(u64::MAX)).is_err());
+    }
+}

@@ -1,0 +1,465 @@
+//! Derive macros for the workspace-local serde stand-in.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls matching real
+//! serde's default external shape:
+//!
+//! * named structs → maps keyed by field name,
+//! * one-field tuple structs (newtypes) → transparent (the inner value),
+//! * multi-field tuple structs → sequences,
+//! * enums → externally tagged (`"Variant"` for unit variants,
+//!   `{"Variant": ...}` otherwise).
+//!
+//! The parser is deliberately small: no generics, no lifetimes, no
+//! `#[serde(...)]` attributes beyond accepting (and ignoring)
+//! `#[serde(transparent)]` on newtypes, where transparency is already the
+//! default shape. Unsupported shapes produce a `compile_error!` naming the
+//! limitation instead of silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => {
+            if serialize {
+                gen_serialize(&item)
+            } else {
+                gen_deserialize(&item)
+            }
+        }
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("derive generated invalid Rust")
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    /// Arity of a tuple struct.
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    i: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            i: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.i += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == word {
+                self.i += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Skips any `#[...]` / `#![...]` attributes (doc comments included).
+    fn skip_attrs(&mut self) {
+        while self.eat_punct('#') {
+            self.eat_punct('!');
+            self.next(); // the bracketed group
+        }
+    }
+
+    /// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn skip_vis(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!(
+                "serde stub derive: expected identifier, got {other:?}"
+            )),
+        }
+    }
+
+    /// Skips tokens until a top-level comma (angle-bracket aware), consuming
+    /// the comma. Returns false when the stream is exhausted instead.
+    fn skip_past_comma(&mut self) -> bool {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let is_enum = if c.eat_ident("struct") {
+        false
+    } else if c.eat_ident("enum") {
+        true
+    } else {
+        return Err("serde stub derive: expected struct or enum".to_string());
+    };
+    let name = c.ident()?;
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("serde stub derive: generic types are not supported".to_string());
+    }
+    if is_enum {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                kind: Kind::Enum(parse_variants(g.stream())?),
+            }),
+            _ => Err("serde stub derive: malformed enum body".to_string()),
+        }
+    } else {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                kind: Kind::NamedStruct(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+                name,
+                kind: Kind::TupleStruct(count_tuple_fields(g.stream())),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                kind: Kind::UnitStruct,
+            }),
+            _ => Err("serde stub derive: malformed struct body".to_string()),
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            return Ok(fields);
+        }
+        c.skip_vis();
+        fields.push(c.ident()?);
+        if !c.eat_punct(':') {
+            return Err("serde stub derive: expected `:` after field name".to_string());
+        }
+        if !c.skip_past_comma() {
+            return Ok(fields);
+        }
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    if c.peek().is_none() {
+        return 0;
+    }
+    let mut count = 1;
+    // fields may have attrs/vis/types; only top-level commas matter
+    while c.skip_past_comma() {
+        if c.peek().is_none() {
+            break; // trailing comma
+        }
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            return Ok(variants);
+        }
+        let name = c.ident()?;
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.next();
+                VariantFields::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                c.next();
+                VariantFields::Tuple(arity)
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        if !c.skip_past_comma() {
+            return Ok(variants);
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        VariantFields::Unit => format!(
+            "{name}::{vname} => \
+             ::serde::Value::Str(::std::string::String::from({vname:?})),"
+        ),
+        VariantFields::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                 (::std::string::String::from({vname:?}), \
+                 ::serde::Value::Map(::std::vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+        VariantFields::Tuple(1) => format!(
+            "{name}::{vname}(__x0) => ::serde::Value::Map(::std::vec![\
+             (::std::string::String::from({vname:?}), \
+             ::serde::Serialize::to_value(__x0))]),"
+        ),
+        VariantFields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![\
+                 (::std::string::String::from({vname:?}), \
+                 ::serde::Value::Seq(::std::vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::__get_field(__v, {f:?}))?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({})),\n\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"expected {n}-element sequence, found {{__other:?}}\"))),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| {
+            let vname = &v.name;
+            format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+        })
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                VariantFields::Unit => None,
+                VariantFields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::__get_field(__inner, {f:?}))?"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                        inits.join(", ")
+                    ))
+                }
+                VariantFields::Tuple(1) => Some(format!(
+                    "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(__inner)?)),"
+                )),
+                VariantFields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => match __inner {{\n\
+                         ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                         ::std::result::Result::Ok({name}::{vname}({})),\n\
+                         _ => ::std::result::Result::Err(::serde::Error::msg(\
+                         \"malformed tuple variant\")),\n\
+                         }},",
+                        items.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match __v {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+         {}\n\
+         __other => ::std::result::Result::Err(::serde::Error::msg(\
+         ::std::format!(\"unknown variant {{__other}}\"))),\n\
+         }},\n\
+         ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+         let (__tag, __inner) = &__entries[0];\n\
+         match __tag.as_str() {{\n\
+         {}\n\
+         __other => ::std::result::Result::Err(::serde::Error::msg(\
+         ::std::format!(\"unknown variant {{__other}}\"))),\n\
+         }}\n\
+         }},\n\
+         __other => ::std::result::Result::Err(::serde::Error::msg(\
+         ::std::format!(\"expected enum value, found {{__other:?}}\"))),\n\
+         }}",
+        unit_arms.join("\n"),
+        tagged_arms.join("\n")
+    )
+}

@@ -1,0 +1,421 @@
+//! Offline stand-in for `serde_json`: prints and parses the [`Value`] tree
+//! of the workspace-local serde stand-in as standard JSON.
+//!
+//! Integers are emitted digit-exactly (`u64`/`i64` never go through `f64`),
+//! and floats use Rust's shortest round-trip formatting, so
+//! serialize → parse → deserialize is bit-identical for every finite value —
+//! the property the chaos replay artifacts rely on.
+
+#![forbid(unsafe_code)]
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+/// JSON serialization/parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Converts a typed value into the [`Value`] data model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuilds a typed value from the [`Value`] data model.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Parses JSON text into a typed value.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::from_value(&value).map_err(|e| Error::new(e.to_string()))
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                let s = x.to_string();
+                out.push_str(&s);
+                // keep floats recognizable as floats on re-parse
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                // real serde_json refuses non-finite floats; emitting null
+                // keeps diagnostic dumps usable without poisoning round trips
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => write_compound(out, indent, depth, '[', ']', items.len(), |out, i| {
+            write_value(&items[i], out, indent, depth + 1);
+        }),
+        Value::Map(entries) => {
+            write_compound(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                write_string(&entries[i].0, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(&entries[i].1, out, indent, depth + 1);
+            })
+        }
+    }
+}
+
+fn write_compound(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        write_item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.seq(),
+            Some(b'{') => self.map(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error::new(format!("malformed array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(Error::new(format!("malformed object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("invalid \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("unknown escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(Value::I64(v));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_shapes() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::U64(1)),
+            ("b".into(), Value::Seq(vec![Value::Bool(true), Value::Null])),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[true,null]}"#);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": 1"));
+    }
+
+    #[test]
+    fn parse_roundtrip_exact() {
+        let v = Value::Map(vec![
+            ("nonce".into(), Value::U64(u64::MAX)),
+            ("neg".into(), Value::I64(-42)),
+            ("x".into(), Value::F64(0.1 + 0.2)),
+            ("s".into(), Value::Str("a\"b\\c\nd".into())),
+            ("empty".into(), Value::Seq(vec![])),
+        ]);
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let text_pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&text_pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn float_stays_float() {
+        let text = to_string(&Value::F64(2.0)).unwrap();
+        assert_eq!(text, "2.0");
+        assert_eq!(from_str::<Value>("2.0").unwrap(), Value::F64(2.0));
+        assert_eq!(from_str::<Value>("2").unwrap(), Value::U64(2));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<Value>("{\"a\":").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(
+            from_str::<Value>(r#""A\n""#).unwrap(),
+            Value::Str("A\n".into())
+        );
+    }
+}
