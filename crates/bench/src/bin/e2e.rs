@@ -1,0 +1,179 @@
+//! End-to-end throughput benchmark: the reference workload is a 16-node
+//! mobile-adversary (rotating churn) world run over 4 seeds.
+//!
+//! ```text
+//! e2e [--smoke] [--seeds N] [--workers W] [--out FILE]
+//! ```
+//!
+//! Each seed is run twice: once sequentially (workers = 1) and once fanned
+//! across the worker pool, and the two result sets are asserted
+//! bit-identical before any number is reported. The JSON report records
+//! wall time, total engine events, events/sec for both modes, and the
+//! parallel speedup. `--smoke` shrinks the horizon for CI; `--out` writes
+//! the report (default `BENCH_e2e.json` in the current directory).
+//!
+//! Speedup is only meaningful on a multi-core machine — the report records
+//! `cores` so a 1-core CI runner's ~1.0x is not mistaken for a regression.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use byzclock_adversary::RandomReplyStrategy;
+use byzclock_harness::parallel::{default_workers, run_seeds_with_workers};
+use byzclock_harness::scenario::Scenario;
+use byzclock_sim::RealTime;
+use serde::Serialize;
+
+/// One seed's run reduced to plain data (worlds never cross threads).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RunResult {
+    events: u64,
+    delivered: u64,
+    dev_bits: u64,
+}
+
+#[derive(Serialize)]
+struct BenchConfig {
+    n: usize,
+    f: usize,
+    seeds: usize,
+    horizon_secs: f64,
+    smoke: bool,
+    workers: usize,
+    cores: usize,
+}
+
+#[derive(Serialize)]
+struct ModeStats {
+    wall_secs: f64,
+    events_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    benchmark: &'static str,
+    workload: &'static str,
+    config: BenchConfig,
+    sequential: ModeStats,
+    parallel: ModeStats,
+    total_events: u64,
+    total_delivered: u64,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+fn run_one(seed: u64, horizon_secs: f64) -> RunResult {
+    let horizon = RealTime::from_secs(horizon_secs);
+    let scenario = Scenario::standard(16, 5).with_seed(seed);
+    let mut world = scenario.churn_world(Box::new(RandomReplyStrategy::new(1.0)), horizon);
+    world.run_until(horizon);
+    RunResult {
+        events: world.events_processed(),
+        delivered: world.network_stats().delivered,
+        dev_bits: world
+            .sample_now()
+            .good_deviation()
+            .unwrap_or(f64::NAN)
+            .to_bits(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut seeds = 4u64;
+    let mut workers = default_workers();
+    let mut out = String::from("BENCH_e2e.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seeds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seeds = v,
+                None => return usage("--seeds needs a number"),
+            },
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => workers = v,
+                None => return usage("--workers needs a number"),
+            },
+            "--out" => match it.next() {
+                Some(v) => out = v.clone(),
+                None => return usage("--out needs a path"),
+            },
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let horizon_secs = if smoke { 120.0 } else { 3600.0 };
+    let seed_list: Vec<u64> = (0..seeds).collect();
+    eprintln!(
+        "e2e: n=16 f=5 rotating churn, {} seeds, horizon {horizon_secs}s, {workers} workers",
+        seed_list.len()
+    );
+
+    let seq_start = Instant::now();
+    let sequential = run_seeds_with_workers(&seed_list, 1, |s| run_one(s, horizon_secs));
+    let seq_wall = seq_start.elapsed().as_secs_f64();
+
+    let par_start = Instant::now();
+    let parallel = run_seeds_with_workers(&seed_list, workers, |s| run_one(s, horizon_secs));
+    let par_wall = par_start.elapsed().as_secs_f64();
+
+    // The determinism contract: fan-out must not change a single bit.
+    assert_eq!(
+        sequential, parallel,
+        "parallel results diverged from sequential"
+    );
+
+    let total_events: u64 = sequential.iter().map(|r| r.events).sum();
+    let total_delivered: u64 = sequential.iter().map(|r| r.delivered).sum();
+    let seq_eps = total_events as f64 / seq_wall;
+    let par_eps = total_events as f64 / par_wall;
+    let speedup = seq_wall / par_wall;
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let report = BenchReport {
+        benchmark: "e2e_throughput",
+        workload: "16-node rotating mobile adversary (RandomReply), Scenario::standard(16, 5)",
+        config: BenchConfig {
+            n: 16,
+            f: 5,
+            seeds: seed_list.len(),
+            horizon_secs,
+            smoke,
+            workers,
+            cores,
+        },
+        sequential: ModeStats {
+            wall_secs: seq_wall,
+            events_per_sec: seq_eps,
+        },
+        parallel: ModeStats {
+            wall_secs: par_wall,
+            events_per_sec: par_eps,
+        },
+        total_events,
+        total_delivered,
+        speedup,
+        bit_identical: true,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{total_events} events | sequential {seq_eps:.0} ev/s ({seq_wall:.2}s) | \
+         parallel {par_eps:.0} ev/s ({par_wall:.2}s) | speedup {speedup:.2}x on {cores} core(s)"
+    );
+    println!("report written to {out}");
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("usage: e2e [--smoke] [--seeds N] [--workers W] [--out FILE]");
+    ExitCode::from(2)
+}

@@ -81,34 +81,55 @@ pub fn run_plan(plan: &FaultPlan) -> Vec<Violation> {
     log.snapshot()
 }
 
-/// Runs a full campaign. See the module docs for the determinism
-/// contract.
+/// Runs a full campaign across the default worker pool. See the module
+/// docs for the determinism contract — the report is bit-identical for
+/// any worker count.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    run_campaign_with_workers(config, byzclock_sim::default_workers())
+}
+
+/// [`run_campaign`] with an explicit worker count (1 = sequential).
+///
+/// Plans are independent by construction: plan `i`'s sampling stream and
+/// world seed depend only on `(root_seed, i)`, and a `World` never leaves
+/// the worker that built it. Results come back in index order, so the
+/// report — verdicts, shrunk plans, artifacts, serialized JSON — does not
+/// depend on `workers`.
+pub fn run_campaign_with_workers(config: &CampaignConfig, workers: usize) -> CampaignReport {
     let hub = RngHub::new(config.root_seed);
-    let mut verdicts = Vec::with_capacity(config.plans);
-    let mut artifacts = Vec::new();
-    for index in 0..config.plans {
+    let root_seed = config.root_seed;
+    let indices: Vec<usize> = (0..config.plans).collect();
+    let outcomes = byzclock_sim::par_map(indices, workers, |_, index| {
         let mut rng = hub.stream("chaos-plan", index as u64);
         let mut plan = FaultPlan::sample(&mut rng);
         plan.seed = hub.stream("chaos-world", index as u64).bits64();
         let violations = run_plan(&plan);
-        if let Some(first) = violations.first() {
+        let artifact = violations.first().map(|first| {
             let invariant = first.invariant.clone();
             let shrunk = shrink(&plan, &invariant);
             let shrunk_violations = run_plan(&shrunk);
-            artifacts.push(ReplayArtifact {
-                root_seed: config.root_seed,
+            ReplayArtifact {
+                root_seed,
                 plan_index: index,
                 invariant,
                 plan: shrunk,
                 violations: shrunk_violations,
-            });
-        }
-        verdicts.push(PlanVerdict {
-            index,
-            plan,
-            violations,
+            }
         });
+        (
+            PlanVerdict {
+                index,
+                plan,
+                violations,
+            },
+            artifact,
+        )
+    });
+    let mut verdicts = Vec::with_capacity(outcomes.len());
+    let mut artifacts = Vec::new();
+    for (verdict, artifact) in outcomes {
+        verdicts.push(verdict);
+        artifacts.extend(artifact);
     }
     CampaignReport {
         root_seed: config.root_seed,
@@ -155,6 +176,21 @@ mod tests {
             plans: 8,
         });
         assert_ne!(a.verdicts, c.verdicts);
+    }
+
+    #[test]
+    fn parallel_campaign_matches_sequential_bit_for_bit() {
+        let config = CampaignConfig {
+            root_seed: 9,
+            plans: 8,
+        };
+        let sequential = run_campaign_with_workers(&config, 1);
+        let parallel = run_campaign_with_workers(&config, 4);
+        assert_eq!(sequential, parallel);
+        assert_eq!(
+            serde_json::to_string(&sequential).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
+        );
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub mod plan;
 pub mod replay;
 pub mod shrink;
 
-pub use campaign::{run_campaign, run_plan, CampaignConfig, CampaignReport, PlanVerdict};
+pub use campaign::{
+    run_campaign, run_campaign_with_workers, run_plan, CampaignConfig, CampaignReport, PlanVerdict,
+};
 pub use invariant::{InvariantSuite, Violation, ViolationLog, MAX_VIOLATIONS};
 pub use plan::{DisciplineSpec, FaultPlan, LinkCutSpec, RestartSpec, SpikeSpec};
 pub use replay::{replay, ReplayArtifact, ReplayOutcome};

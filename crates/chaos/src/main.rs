@@ -1,19 +1,22 @@
 //! The `chaos` CLI: run campaigns, replay artifacts.
 //!
 //! ```text
-//! chaos campaign [--plans N] [--seed S] [--out FILE]
+//! chaos campaign [--plans N] [--seed S] [--workers W] [--out FILE]
 //! chaos replay <artifact.json>
 //! ```
 //!
-//! `campaign` samples and runs N composed fault plans, prints a verdict
-//! line per plan, and (with `--out`) writes the full report — including
-//! one replay artifact per violating plan — as JSON. `replay` re-executes
-//! a single artifact and exits 0 iff the recorded violations reproduce
-//! bit-identically.
+//! `campaign` samples and runs N composed fault plans (fanned across
+//! `--workers` threads; default = available cores, report identical for
+//! any worker count), prints a verdict line per plan, and (with `--out`)
+//! writes the full report — including one replay artifact per violating
+//! plan — as JSON. `replay` re-executes a single artifact and exits 0 iff
+//! the recorded violations reproduce bit-identically.
 
 use std::process::ExitCode;
 
-use byzclock_chaos::{replay, run_campaign, CampaignConfig, ReplayArtifact, ReplayOutcome};
+use byzclock_chaos::{
+    replay, run_campaign_with_workers, CampaignConfig, ReplayArtifact, ReplayOutcome,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,7 +24,7 @@ fn main() -> ExitCode {
         Some("campaign") => campaign(&args[1..]),
         Some("replay") => replay_cmd(&args[1..]),
         _ => {
-            eprintln!("usage: chaos campaign [--plans N] [--seed S] [--out FILE]");
+            eprintln!("usage: chaos campaign [--plans N] [--seed S] [--workers W] [--out FILE]");
             eprintln!("       chaos replay <artifact.json>");
             ExitCode::from(2)
         }
@@ -31,6 +34,7 @@ fn main() -> ExitCode {
 fn campaign(args: &[String]) -> ExitCode {
     let mut plans = 50usize;
     let mut seed = 0u64;
+    let mut workers = byzclock_sim::default_workers();
     let mut out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -42,6 +46,10 @@ fn campaign(args: &[String]) -> ExitCode {
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => seed = v,
                 None => return usage("--seed needs a number"),
+            },
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => workers = v,
+                None => return usage("--workers needs a number"),
             },
             "--out" => match it.next() {
                 Some(v) => out = Some(v.clone()),
@@ -55,7 +63,7 @@ fn campaign(args: &[String]) -> ExitCode {
         root_seed: seed,
         plans,
     };
-    let report = run_campaign(&config);
+    let report = run_campaign_with_workers(&config, workers);
     for v in &report.verdicts {
         let dims = v.plan.dimensions().join("+");
         if v.violations.is_empty() {

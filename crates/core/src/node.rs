@@ -263,16 +263,29 @@ impl SyncNode {
     }
 
     /// Feeds one input, returning the effects to execute (in order).
+    ///
+    /// Convenience wrapper around [`SyncNode::handle_into`] that allocates
+    /// a fresh vector per call; hosts on a hot path should reuse a scratch
+    /// buffer via `handle_into` instead.
     pub fn handle(&mut self, input: Input) -> Vec<Output> {
+        let mut out = Vec::new();
+        self.handle_into(input, &mut out);
+        out
+    }
+
+    /// Feeds one input, appending the effects to execute (in order) to
+    /// `out`. The buffer is not cleared — the caller owns its lifecycle —
+    /// so a host can reuse one allocation across every `handle` call.
+    pub fn handle_into(&mut self, input: Input, out: &mut Vec<Output>) {
         match input {
             Input::Start { local_now } => {
                 // Recovery: abandon any in-flight round and start fresh.
                 self.active = None;
                 match self.estimation {
-                    EstimationMode::PerRound => self.begin_round(local_now),
+                    EstimationMode::PerRound => self.begin_round(local_now, out),
                     EstimationMode::Cached { refresh } => {
                         self.cache = vec![None; self.params.n()];
-                        let mut out = self.refresh_cache(local_now);
+                        self.refresh_cache(local_now, out);
                         out.push(Output::SetTimer {
                             after: refresh,
                             kind: TimerKind::CacheRefresh,
@@ -281,7 +294,6 @@ impl SyncNode {
                             after: self.params.sync_int(),
                             kind: TimerKind::SyncDue,
                         });
-                        out
                     }
                 }
             }
@@ -294,55 +306,52 @@ impl SyncNode {
                     if from.index() >= self.params.n() {
                         // Authenticated links cannot carry traffic from
                         // non-existent processors; drop defensively.
-                        return Vec::new();
+                        return;
                     }
                     // "No rounds": always answer with the live clock.
-                    vec![Output::Send {
+                    out.push(Output::Send {
                         to: from,
                         msg: WireMessage::Pong {
                             round,
                             nonce,
                             clock: local_now,
                         },
-                    }]
+                    });
                 }
                 WireMessage::Pong {
                     round,
                     nonce,
                     clock,
-                } => self.on_pong(from, round, nonce, clock, local_now),
+                } => self.on_pong(from, round, nonce, clock, local_now, out),
             },
             Input::TimerFired { timer, local_now } => match timer {
                 TimerKind::CacheRefresh => {
                     let EstimationMode::Cached { refresh } = self.estimation else {
-                        return Vec::new(); // stale timer after a mode change
+                        return; // stale timer after a mode change
                     };
-                    let mut out = self.refresh_cache(local_now);
+                    self.refresh_cache(local_now, out);
                     out.push(Output::SetTimer {
                         after: refresh,
                         kind: TimerKind::CacheRefresh,
                     });
-                    out
                 }
                 TimerKind::SyncDue => {
                     if let EstimationMode::Cached { .. } = self.estimation {
-                        return self.sync_from_cache();
+                        return self.sync_from_cache(out);
                     }
                     if self.active.is_none() {
-                        self.begin_round(local_now)
-                    } else {
-                        // A SyncDue racing an in-flight round (possible
-                        // after a host-driven restart): ignore, the round's
-                        // completion will re-arm the alarm.
-                        Vec::new()
+                        self.begin_round(local_now, out);
                     }
+                    // else: a SyncDue racing an in-flight round (possible
+                    // after a host-driven restart): ignore, the round's
+                    // completion will re-arm the alarm.
                 }
-                TimerKind::RoundTimeout { round } => self.on_round_timeout(round),
+                TimerKind::RoundTimeout { round } => self.on_round_timeout(round, out),
             },
         }
     }
 
-    fn begin_round(&mut self, local_now: LocalTime) -> Vec<Output> {
+    fn begin_round(&mut self, local_now: LocalTime, out: &mut Vec<Output>) {
         self.round += 1;
         let round = self.round;
         let nonce = self.nonces.bits64();
@@ -355,8 +364,9 @@ impl SyncNode {
             samples: vec![Vec::new(); n],
         });
         // Section 3.1's min-RTT refinement: k pings per peer; the replies
-        // are filtered by smallest round trip at completion.
-        let mut out: Vec<Output> = Vec::with_capacity((n - 1) * k + 1);
+        // are filtered by smallest round trip at completion. Pre-size the
+        // fan-out so a reused scratch buffer grows at most once.
+        out.reserve((n - 1) * k + 1);
         for q in ProcId::all(n).filter(|q| *q != self.id) {
             for _ in 0..k {
                 out.push(Output::Send {
@@ -369,7 +379,6 @@ impl SyncNode {
             after: self.params.max_wait(),
             kind: TimerKind::RoundTimeout { round },
         });
-        out
     }
 
     fn on_pong(
@@ -379,14 +388,15 @@ impl SyncNode {
         nonce: u64,
         clock: LocalTime,
         local_now: LocalTime,
-    ) -> Vec<Output> {
+        out: &mut Vec<Output>,
+    ) {
         let k = self.params.pings_per_peer();
         let me = self.id;
         if !clock.as_secs().is_finite() {
             // A Byzantine peer reporting ±∞ (or NaN) would flow straight
             // into the convergence function's (m+M)/2 and poison the
             // adjustment; drop it so the slot resolves via TIMEOUT instead.
-            return Vec::new();
+            return;
         }
         if let EstimationMode::Cached { .. } = self.estimation {
             // cache fill: accept only the current generation (round) and
@@ -403,24 +413,24 @@ impl SyncNode {
                     clock,
                 ));
             }
-            return Vec::new();
+            return;
         }
         let Some(active) = self.active.as_mut() else {
-            return Vec::new(); // stale pong after round completion
+            return; // stale pong after round completion
         };
         if active.round != round || active.nonce != nonce {
-            return Vec::new(); // wrong round or replay
+            return; // wrong round or replay
         }
         if from.index() >= active.samples.len() || from == me {
-            return Vec::new(); // nonsensical sender
+            return; // nonsensical sender
         }
         if active.samples[from.index()].len() >= k {
-            return Vec::new(); // more pongs than pings: duplicate/forged
+            return; // more pongs than pings: duplicate/forged
         }
         if local_now < active.sent_at {
             // The local clock cannot run backwards between S and R without
             // an adjustment, and we never adjust mid-round; defensive skip.
-            return Vec::new();
+            return;
         }
         active.samples[from.index()].push(OffsetSample::from_ping_pong(
             active.sent_at,
@@ -433,23 +443,21 @@ impl SyncNode {
             .enumerate()
             .all(|(i, s)| i == me.index() || s.len() == k);
         if all_full {
-            self.complete_round()
-        } else {
-            Vec::new()
+            self.complete_round(out);
         }
     }
 
-    fn on_round_timeout(&mut self, round: u64) -> Vec<Output> {
+    fn on_round_timeout(&mut self, round: u64, out: &mut Vec<Output>) {
         let Some(active) = self.active.as_ref() else {
-            return Vec::new(); // stale timeout (round completed early)
+            return; // stale timeout (round completed early)
         };
         if active.round != round {
-            return Vec::new();
+            return;
         }
-        self.complete_round()
+        self.complete_round(out);
     }
 
-    fn complete_round(&mut self) -> Vec<Output> {
+    fn complete_round(&mut self, out: &mut Vec<Output>) {
         let active = self.active.take().expect("complete_round without round");
         let estimates: Vec<PeerEstimate> = active
             .samples
@@ -475,7 +483,7 @@ impl SyncNode {
             .convergence
             .adjustment(self.params.f(), self.params.way_off(), &estimates);
         self.rounds_completed += 1;
-        vec![
+        out.extend([
             Output::AdjustClock {
                 delta: SimDuration::from_secs(delta),
             },
@@ -489,31 +497,32 @@ impl SyncNode {
                 after: self.params.sync_int(),
                 kind: TimerKind::SyncDue,
             },
-        ]
+        ]);
     }
 
     /// Sends one cache-refresh ping volley (Cached mode).
-    fn refresh_cache(&mut self, local_now: LocalTime) -> Vec<Output> {
+    fn refresh_cache(&mut self, local_now: LocalTime, out: &mut Vec<Output>) {
         self.round += 1;
         self.cache_sent_at = local_now;
         self.cache_nonce = self.nonces.bits64();
         let nonce = self.cache_nonce;
-        ProcId::all(self.params.n())
-            .filter(|q| *q != self.id)
-            .map(|q| Output::Send {
-                to: q,
-                msg: WireMessage::Ping {
-                    round: self.round,
-                    nonce,
-                },
-            })
-            .collect()
+        out.extend(
+            ProcId::all(self.params.n())
+                .filter(|q| *q != self.id)
+                .map(|q| Output::Send {
+                    to: q,
+                    msg: WireMessage::Ping {
+                        round: self.round,
+                        nonce,
+                    },
+                }),
+        );
     }
 
     /// Runs the convergence function over the *cached* estimates — the
     /// naive separate-thread pattern the paper warns about: samples may
     /// predate the node's own latest adjustments.
-    fn sync_from_cache(&mut self) -> Vec<Output> {
+    fn sync_from_cache(&mut self, out: &mut Vec<Output>) {
         let estimates: Vec<PeerEstimate> = (0..self.params.n())
             .map(|i| PeerEstimate {
                 peer: ProcId(i as u32),
@@ -532,7 +541,7 @@ impl SyncNode {
             .convergence
             .adjustment(self.params.f(), self.params.way_off(), &estimates);
         self.rounds_completed += 1;
-        vec![
+        out.extend([
             Output::AdjustClock {
                 delta: SimDuration::from_secs(delta),
             },
@@ -546,7 +555,7 @@ impl SyncNode {
                 after: self.params.sync_int(),
                 kind: TimerKind::SyncDue,
             },
-        ]
+        ]);
     }
 }
 
@@ -594,6 +603,25 @@ mod tests {
             },
             local_now: lt(local_now),
         }
+    }
+
+    #[test]
+    fn handle_into_appends_without_clearing() {
+        // Two identically-seeded nodes: one driven through `handle`, one
+        // through `handle_into` with a reused buffer — same outputs.
+        let mut a = SyncNode::new(ProcId(0), params(4, 1)).with_nonce_seed(9);
+        let mut b = SyncNode::new(ProcId(0), params(4, 1)).with_nonce_seed(9);
+        let mut buf = vec![Output::RoundCompleted(RoundSummary {
+            round: 0,
+            adjustment: 0.0,
+            responders: 0,
+            timeouts: 0,
+        })];
+        let input = Input::Start { local_now: lt(3.0) };
+        let via_handle = a.handle(input);
+        b.handle_into(input, &mut buf);
+        assert_eq!(&buf[1..], &via_handle[..], "appended after existing item");
+        assert!(matches!(buf[0], Output::RoundCompleted(_)));
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub fn run(mode: Mode) -> ExperimentReport {
     );
     let mut all_pass = true;
 
-    for &n in ns {
+    // Each n is an independent world — fan the sweep across cores. Results
+    // come back in `ns` order, so the table is identical to the old
+    // sequential loop.
+    let outcomes = crate::parallel::par_map_auto(ns.to_vec(), |_, n| {
         let scenario = Scenario::standard(n, f);
         let bounds = scenario.bounds();
         let x = bounds.gamma / 2.5; // initial deviation 0.8 gamma — legal
@@ -77,8 +80,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
         let converged = final_dev < initial_dev / 2.0;
         let expect_converged = n > 3 * f;
         let ok = converged == expect_converged;
-        all_pass &= ok;
-        table.row_owned(vec![
+        let row = vec![
             n.to_string(),
             format!("{:+}", n as i64 - 3 * f as i64),
             fmt_secs(initial_dev),
@@ -91,7 +93,12 @@ pub fn run(mode: Mode) -> ExperimentReport {
             }
             .into(),
             if ok { "yes" } else { "NO" }.into(),
-        ]);
+        ];
+        (row, ok)
+    });
+    for (row, ok) in outcomes {
+        all_pass &= ok;
+        table.row_owned(row);
     }
 
     ExperimentReport {

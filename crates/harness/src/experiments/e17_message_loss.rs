@@ -46,27 +46,36 @@ pub fn run(mode: Mode) -> ExperimentReport {
     let mut all_pass = true;
     let mut high_loss_pair: Option<(f64, f64)> = None;
 
-    for &loss in losses {
+    // Every (loss, k) cell is an independent world; fan the whole grid
+    // across cores and reassemble rows in order afterwards.
+    let grid: Vec<(f64, usize)> = losses
+        .iter()
+        .flat_map(|&loss| [(loss, 1usize), (loss, 4)])
+        .collect();
+    let cells = crate::parallel::par_map_auto(grid, |_, (loss, k)| {
+        let tracker = DeviationTracker::measuring_from(RealTime::ZERO + scenario.big_delta);
+        let mut world = scenario
+            .builder()
+            .message_loss(loss)
+            .pings_per_peer(k)
+            .initial_bias_spread(gamma / 8.0)
+            .build()
+            .expect("E17 world must build");
+        world.add_observer(Box::new(tracker.clone()));
+        world.run_until(horizon);
+        let mean = tracker.avg_deviation().unwrap_or(f64::NAN);
+        let max = tracker.max_deviation().unwrap_or(f64::NAN);
+        (mean, max)
+    });
+    for (i, &loss) in losses.iter().enumerate() {
         let mut row = vec![format!("{:.0}%", loss * 100.0)];
         let mut means = Vec::new();
-        for k in [1usize, 4] {
-            let tracker = DeviationTracker::measuring_from(RealTime::ZERO + scenario.big_delta);
-            let mut world = scenario
-                .builder()
-                .message_loss(loss)
-                .pings_per_peer(k)
-                .initial_bias_spread(gamma / 8.0)
-                .build()
-                .expect("E17 world must build");
-            world.add_observer(Box::new(tracker.clone()));
-            world.run_until(horizon);
-            let mean = tracker.avg_deviation().unwrap_or(f64::NAN);
-            let max = tracker.max_deviation().unwrap_or(f64::NAN);
-            means.push(mean);
-            row.push(fmt_secs(mean));
-            row.push(fmt_secs(max));
+        for (mean, max) in &cells[2 * i..2 * i + 2] {
+            means.push(*mean);
+            row.push(fmt_secs(*mean));
+            row.push(fmt_secs(*max));
             // the deviation bound must hold at every loss level
-            all_pass &= max <= gamma;
+            all_pass &= *max <= gamma;
         }
         if loss >= 0.5 {
             high_loss_pair = Some((means[0], means[1]));

@@ -333,6 +333,38 @@ impl Network {
         now: RealTime,
         rng: &mut DetRng,
     ) -> Vec<RealTime> {
+        self.fan_out(from, to, now, rng)
+    }
+
+    /// Like [`Network::send_forged`], but with the configured fault profile
+    /// and delay spikes applied — the forged-traffic twin of
+    /// [`Network::send_times`].
+    ///
+    /// The adversary speaks *as* the corrupted processor over the victim's
+    /// real links, so its traffic is subject to exactly the same loss,
+    /// duplication, reordering and delay-spike models as honest traffic —
+    /// anything else would make forged replies systematically better
+    /// behaved than the network they cross.
+    pub fn send_forged_times(
+        &mut self,
+        claimed_from: ProcId,
+        to: ProcId,
+        now: RealTime,
+        rng: &mut DetRng,
+    ) -> Vec<RealTime> {
+        self.stats.forged += 1;
+        self.fan_out(claimed_from, to, now, rng)
+    }
+
+    /// Shared fault-applying delivery fan-out behind [`Network::send_times`]
+    /// and [`Network::send_forged_times`].
+    fn fan_out(
+        &mut self,
+        from: ProcId,
+        to: ProcId,
+        now: RealTime,
+        rng: &mut DetRng,
+    ) -> Vec<RealTime> {
         let mut times = Vec::with_capacity(1);
         let Some(at) = self.route(from, to, now, rng).delivery_time() else {
             return times;
@@ -593,6 +625,75 @@ mod tests {
             saw_late |= at > now + ms(5.0);
         }
         assert!(saw_late, "reordering should push some deliveries late");
+    }
+
+    #[test]
+    fn forged_times_subject_to_delay_spikes() {
+        // Regression: adversary pongs used to go through `send_forged`,
+        // which skipped `apply_timing_faults` entirely — forged traffic was
+        // immune to spikes the honest traffic suffered.
+        let mut net = mesh_net(2);
+        net.add_delay_spike(DelaySpike {
+            from: RealTime::ZERO,
+            until: RealTime::from_secs(100.0),
+            factor: 4.0,
+        });
+        let now = RealTime::from_secs(5.0);
+        let times = net.send_forged_times(ProcId(0), ProcId(1), now, &mut rng());
+        // base 2 ms delay inflated 4x
+        assert_eq!(times.len(), 1);
+        let expected = now + ms(8.0);
+        assert!(
+            (times[0].as_secs() - expected.as_secs()).abs() < 1e-12,
+            "at = {}",
+            times[0]
+        );
+        assert_eq!(net.stats().spiked, 1);
+        assert_eq!(net.stats().forged, 1);
+    }
+
+    #[test]
+    fn forged_times_subject_to_duplication() {
+        let mut net = mesh_net(2);
+        net.set_fault_profile(FaultProfile {
+            duplicate_probability: 1.0,
+            reorder_probability: 0.0,
+        });
+        let times = net.send_forged_times(ProcId(0), ProcId(1), RealTime::ZERO, &mut rng());
+        assert_eq!(times.len(), 2, "duplication must hit forged traffic too");
+        assert_eq!(net.stats().duplicated, 1);
+        assert_eq!(net.stats().forged, 1);
+    }
+
+    #[test]
+    fn forged_times_subject_to_loss() {
+        let mut net = mesh_net(2);
+        net.set_loss_probability(0.5);
+        let mut r = rng();
+        let mut lost = 0;
+        let total = 2000;
+        for _ in 0..total {
+            if net
+                .send_forged_times(ProcId(0), ProcId(1), RealTime::ZERO, &mut r)
+                .is_empty()
+            {
+                lost += 1;
+            }
+        }
+        let frac = lost as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.05, "forged loss fraction {frac}");
+        // forged counts the logical sends, delivered only the survivors
+        assert_eq!(net.stats().forged, total);
+        assert_eq!(net.stats().delivered, total - lost);
+    }
+
+    #[test]
+    fn forged_times_match_send_forged_when_quiet() {
+        let mut net = mesh_net(3);
+        let now = RealTime::from_secs(1.0);
+        let times = net.send_forged_times(ProcId(2), ProcId(0), now, &mut rng());
+        assert_eq!(times, vec![now + ms(2.0)]);
+        assert_eq!(net.stats().forged, 1);
     }
 
     #[test]

@@ -611,6 +611,7 @@ impl WorldBuilder {
             way_off,
             params,
             bounds,
+            scratch: Vec::new(),
         })
     }
 }

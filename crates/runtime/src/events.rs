@@ -2,7 +2,7 @@
 
 use byzclock_clock::LocalTime;
 use byzclock_core::{TimerKind, WireMessage};
-use byzclock_sim::ProcId;
+use byzclock_sim::{EventId, ProcId};
 
 /// Everything that can be scheduled on the world's real-time axis.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,13 +25,18 @@ pub enum SimEvent {
     NodeTimer {
         /// Whose alarm.
         node: ProcId,
+        /// This event's own engine id (assigned at scheduling via
+        /// `schedule_at_with`). The world matches it against the node's
+        /// pending-alarm index, which is unambiguous even when two alarms
+        /// share `kind` and `target_local`.
+        id: EventId,
         /// Timer generation at scheduling (stale generations are ignored —
         /// corruption bumps the generation to cancel all pending alarms).
         generation: u64,
         /// Which protocol timer.
         kind: TimerKind,
-        /// The local-clock target the alarm was armed for (used to drop
-        /// superseded reschedules after drift changes).
+        /// The local-clock target the alarm was armed for (recomputed into
+        /// a real time after drift changes).
         target_local: LocalTime,
     },
     /// A node's hardware clock changes rate (drift model step). The event

@@ -30,9 +30,8 @@ use crate::builder::Discipline;
 use crate::events::SimEvent;
 use crate::observer::{Observer, WorldSample};
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 struct PendingTimer {
-    engine_id: EventId,
     kind: TimerKind,
     target_local: LocalTime,
 }
@@ -44,7 +43,14 @@ pub(crate) struct NodeSlot {
     pub(crate) drift_rng: DetRng,
     pub(crate) corruption_depth: u32,
     timer_gen: u64,
-    pending: Vec<PendingTimer>,
+    /// Pending alarms indexed by their engine [`EventId`]: O(log n) exact
+    /// lookup/cancel instead of a linear scan, and — unlike a
+    /// `(kind, target)` match — unambiguous when two alarms coincide.
+    /// A `BTreeMap` (not `HashMap`) so iteration during rescheduling is
+    /// id-ordered: std hash maps iterate in per-process random order, which
+    /// would leak into event scheduling order and break cross-process
+    /// replay determinism.
+    pending: std::collections::BTreeMap<EventId, PendingTimer>,
 }
 
 impl NodeSlot {
@@ -61,7 +67,7 @@ impl NodeSlot {
             drift_rng,
             corruption_depth: 0,
             timer_gen: 0,
-            pending: Vec::new(),
+            pending: std::collections::BTreeMap::new(),
         }
     }
 
@@ -88,6 +94,9 @@ pub struct World {
     pub(crate) bounds: Option<byzclock_core::TheoremBounds>,
     pub(crate) trace: TraceBuffer,
     pub(crate) discipline: Discipline,
+    /// Reusable output buffer for `SyncNode::handle_into`: one allocation
+    /// for the whole run instead of one per handled input.
+    pub(crate) scratch: Vec<Output>,
 }
 
 impl std::fmt::Debug for World {
@@ -208,10 +217,11 @@ impl World {
             SimEvent::Deliver { to, from, msg } => self.deliver(tau, to, from, msg),
             SimEvent::NodeTimer {
                 node,
+                id,
                 generation,
                 kind,
-                target_local,
-            } => self.node_timer(node, generation, kind, target_local),
+                target_local: _,
+            } => self.node_timer(node, id, generation, kind),
             SimEvent::DriftChange { node, new_rate } => self.drift_change(tau, node, new_rate),
             SimEvent::Corrupt { node } => self.corrupt(tau, node),
             SimEvent::Release { node } => self.release(tau, node),
@@ -249,9 +259,7 @@ impl World {
         }
         // Crash: all pending alarms die with the process.
         self.nodes[idx].timer_gen += 1;
-        for p in std::mem::take(&mut self.nodes[idx].pending) {
-            self.engine.cancel(p.engine_id);
-        }
+        self.cancel_pending_timers(idx);
         self.trace
             .record(tau, TraceLevel::Info, "node", format!("restart {node}"));
         self.notify(|o| o.on_restart(node, tau));
@@ -259,8 +267,7 @@ impl World {
         // the paper's tiny-recovery-state property makes this identical to
         // a cold start.
         let local_now = self.local_now(node);
-        let outputs = self.nodes[idx].node.handle(Input::Start { local_now });
-        self.apply_outputs(node, outputs);
+        self.handle_and_apply(node, Input::Start { local_now });
     }
 
     fn start_node(&mut self, node: ProcId) {
@@ -268,10 +275,25 @@ impl World {
             return; // corrupted at its start time; Release will restart it
         }
         let local_now = self.local_now(node);
-        let outputs = self.nodes[node.index()]
-            .node
-            .handle(Input::Start { local_now });
-        self.apply_outputs(node, outputs);
+        self.handle_and_apply(node, Input::Start { local_now });
+    }
+
+    /// Cancels (engine + index) every pending alarm of node `idx`.
+    fn cancel_pending_timers(&mut self, idx: usize) {
+        for engine_id in std::mem::take(&mut self.nodes[idx].pending).into_keys() {
+            self.engine.cancel(engine_id);
+        }
+    }
+
+    /// Feeds one input to `node` through the reusable scratch buffer and
+    /// executes the resulting outputs.
+    fn handle_and_apply(&mut self, node: ProcId, input: Input) {
+        let mut out = std::mem::take(&mut self.scratch);
+        out.clear();
+        self.nodes[node.index()].node.handle_into(input, &mut out);
+        self.apply_outputs(node, &out);
+        out.clear();
+        self.scratch = out;
     }
 
     fn local_now(&self, node: ProcId) -> LocalTime {
@@ -284,12 +306,14 @@ impl World {
             return;
         }
         let local_now = self.local_now(to);
-        let outputs = self.nodes[to.index()].node.handle(Input::Message {
-            from,
-            msg,
-            local_now,
-        });
-        self.apply_outputs(to, outputs);
+        self.handle_and_apply(
+            to,
+            Input::Message {
+                from,
+                msg,
+                local_now,
+            },
+        );
     }
 
     /// A corrupted node received a message: the adversary decides.
@@ -333,10 +357,12 @@ impl World {
                     nonce,
                     clock,
                 };
-                if let Some(at) = self
+                // Forged replies cross the same faulty network as honest
+                // traffic: duplication, reordering, loss and delay spikes
+                // all apply (they used to bypass fault injection entirely).
+                for at in self
                     .network
-                    .send_forged(victim, from, tau, &mut self.net_rng)
-                    .delivery_time()
+                    .send_forged_times(victim, from, tau, &mut self.net_rng)
                 {
                     self.engine.schedule_at(
                         at,
@@ -351,32 +377,27 @@ impl World {
         }
     }
 
-    fn node_timer(
-        &mut self,
-        node: ProcId,
-        generation: u64,
-        kind: TimerKind,
-        target_local: LocalTime,
-    ) {
+    fn node_timer(&mut self, node: ProcId, id: EventId, generation: u64, kind: TimerKind) {
         let slot = &mut self.nodes[node.index()];
         if slot.corrupted() || slot.timer_gen != generation {
             return;
         }
-        // Drop superseded alarms (rescheduled after a drift change).
-        let Some(pos) = slot
-            .pending
-            .iter()
-            .position(|p| p.kind == kind && p.target_local == target_local)
-        else {
+        // Match the fired event against the pending index by its own engine
+        // id: exact and unambiguous even when another alarm shares
+        // `(kind, target_local)` — a positional match could clear the
+        // twin's bookkeeping instead. An absent id means the alarm was
+        // superseded (rescheduled after a drift change) and must not fire.
+        if slot.pending.remove(&id).is_none() {
             return;
-        };
-        slot.pending.swap_remove(pos);
+        }
         let local_now = self.local_now(node);
-        let outputs = self.nodes[node.index()].node.handle(Input::TimerFired {
-            timer: kind,
-            local_now,
-        });
-        self.apply_outputs(node, outputs);
+        self.handle_and_apply(
+            node,
+            Input::TimerFired {
+                timer: kind,
+                local_now,
+            },
+        );
     }
 
     fn drift_change(&mut self, tau: RealTime, node: ProcId, new_rate: f64) {
@@ -401,30 +422,24 @@ impl World {
     fn reschedule_pending_timers(&mut self, tau: RealTime, node: ProcId) {
         let idx = node.index();
         let gen = self.nodes[idx].timer_gen;
-        let pending: Vec<(TimerKind, LocalTime)> = self.nodes[idx]
-            .pending
-            .iter()
-            .map(|p| (p.kind, p.target_local))
-            .collect();
-        for p in std::mem::take(&mut self.nodes[idx].pending) {
-            self.engine.cancel(p.engine_id);
+        // BTreeMap iteration is id-ordered, so the re-armed events are
+        // assigned fresh ids in a deterministic order (replay safety).
+        let pending = std::mem::take(&mut self.nodes[idx].pending);
+        for engine_id in pending.keys() {
+            self.engine.cancel(*engine_id);
         }
-        for (kind, target_local) in pending {
-            let real_at = self.real_time_for_local_target(node, tau, target_local);
-            let engine_id = self.engine.schedule_at(
-                real_at.max(tau),
-                SimEvent::NodeTimer {
-                    node,
-                    generation: gen,
-                    kind,
-                    target_local,
-                },
-            );
-            self.nodes[idx].pending.push(PendingTimer {
-                engine_id,
-                kind,
-                target_local,
-            });
+        for timer in pending.into_values() {
+            let real_at = self.real_time_for_local_target(node, tau, timer.target_local);
+            let engine_id =
+                self.engine
+                    .schedule_at_with(real_at.max(tau), |id| SimEvent::NodeTimer {
+                        node,
+                        id,
+                        generation: gen,
+                        kind: timer.kind,
+                        target_local: timer.target_local,
+                    });
+            self.nodes[idx].pending.insert(engine_id, timer);
         }
     }
 
@@ -449,9 +464,7 @@ impl World {
         }
         // Cancel all pending alarms: the adversary wipes protocol state.
         self.nodes[idx].timer_gen += 1;
-        for p in std::mem::take(&mut self.nodes[idx].pending) {
-            self.engine.cancel(p.engine_id);
-        }
+        self.cancel_pending_timers(idx);
         match self.adversary.on_corrupt(node, &mut self.adv_rng) {
             ClockSabotage::None => {
                 self.trace.record(
@@ -495,8 +508,7 @@ impl World {
         // Recovery: the processor reboots its protocol with whatever clock
         // the adversary left behind.
         let local_now = self.local_now(node);
-        let outputs = self.nodes[idx].node.handle(Input::Start { local_now });
-        self.apply_outputs(node, outputs);
+        self.handle_and_apply(node, Input::Start { local_now });
     }
 
     fn sample_tick(&mut self) {
@@ -507,9 +519,9 @@ impl World {
         }
     }
 
-    fn apply_outputs(&mut self, node: ProcId, outputs: Vec<Output>) {
+    fn apply_outputs(&mut self, node: ProcId, outputs: &[Output]) {
         let tau = self.now();
-        for output in outputs {
+        for &output in outputs {
             match output {
                 Output::Send { to, msg } => {
                     // send_times yields zero (lost), one, or — under the
@@ -554,20 +566,18 @@ impl World {
         let target_local = self.nodes[idx].clock.read(tau) + after;
         let real_at = self.real_time_for_local_target(node, tau, target_local);
         let gen = self.nodes[idx].timer_gen;
-        let engine_id = self.engine.schedule_at(
-            real_at.max(tau),
-            SimEvent::NodeTimer {
+        let engine_id = self
+            .engine
+            .schedule_at_with(real_at.max(tau), |id| SimEvent::NodeTimer {
                 node,
+                id,
                 generation: gen,
                 kind,
                 target_local,
-            },
-        );
-        self.nodes[idx].pending.push(PendingTimer {
-            engine_id,
-            kind,
-            target_local,
-        });
+            });
+        self.nodes[idx]
+            .pending
+            .insert(engine_id, PendingTimer { kind, target_local });
     }
 
     fn notify(&mut self, mut f: impl FnMut(&mut Box<dyn Observer>)) {
@@ -895,6 +905,114 @@ mod tests {
             .unwrap();
         w.run_until(t(60.0));
         assert!(w.network_stats().spiked > 0, "spike window saw no traffic");
+    }
+
+    #[test]
+    fn delay_spike_inflates_forged_pongs() {
+        // Regression: adversary pongs used to be scheduled via
+        // `send_forged(..).delivery_time()`, bypassing the delay-spike /
+        // fault-injection path entirely — forged replies crossed a faster
+        // network than the honest traffic. With the whole run inside a
+        // spike window, every delivery (honest and forged) must be spiked.
+        use byzclock_net::DelaySpike;
+        let schedule = CorruptionSchedule::single(ProcId(0), t(0.0), d(100.0));
+        let adversary = Adversary::new(schedule, Box::new(ConstantOffsetStrategy::new(2.0)));
+        let mut w = WorldBuilder::new(4, 1)
+            .seed(5)
+            .big_delta(d(40.0))
+            .adversary(adversary)
+            .delay_spikes(vec![DelaySpike {
+                from: t(0.0),
+                until: t(1000.0),
+                factor: 2.0,
+            }])
+            .build()
+            .unwrap();
+        w.run_until(t(30.0));
+        let stats = w.network_stats();
+        assert!(stats.forged > 0, "adversary must have replied to pings");
+        assert_eq!(
+            stats.spiked, stats.delivered,
+            "forged deliveries escaped the spike: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn timer_fire_clears_its_own_entry_not_a_twin() {
+        // Regression for the ambiguous pending-slot match: two alarms
+        // sharing (kind, target_local) are distinct engine events, and a
+        // fired event must clear exactly its own bookkeeping entry. The
+        // old positional (kind, target) match removed whichever twin was
+        // stored first, leaving an entry pointing at an already-fired
+        // event — a later reschedule would resurrect it as a double fire.
+        use super::PendingTimer;
+        use crate::events::SimEvent;
+        use byzclock_core::TimerKind;
+
+        let mut w = quiet_world(1);
+        w.run_until(t(0.5));
+        let node = ProcId(0);
+        let idx = 0usize;
+        let gen = w.nodes[idx].timer_gen;
+        let target = w.nodes[idx].clock.read(w.now()) + d(500.0);
+        let kind = TimerKind::SyncDue;
+        // The LATER twin is armed first, so any first-match-wins lookup
+        // would clear it when the earlier twin fires.
+        let late = w.engine.schedule_at_with(t(5.0), |id| SimEvent::NodeTimer {
+            node,
+            id,
+            generation: gen,
+            kind,
+            target_local: target,
+        });
+        w.nodes[idx].pending.insert(
+            late,
+            PendingTimer {
+                kind,
+                target_local: target,
+            },
+        );
+        let early = w.engine.schedule_at_with(t(1.0), |id| SimEvent::NodeTimer {
+            node,
+            id,
+            generation: gen,
+            kind,
+            target_local: target,
+        });
+        w.nodes[idx].pending.insert(
+            early,
+            PendingTimer {
+                kind,
+                target_local: target,
+            },
+        );
+        w.run_until(t(2.0)); // only the early twin has fired
+        assert!(
+            !w.nodes[idx].pending.contains_key(&early),
+            "the fired alarm must clear its own entry"
+        );
+        assert!(
+            w.nodes[idx].pending.contains_key(&late),
+            "the not-yet-fired twin must stay armed"
+        );
+    }
+
+    #[test]
+    fn run_until_reaches_deadline_after_queue_drains() {
+        // Audit (satellite): `Engine::pop_until` advances `now` to the
+        // deadline when no event at or before it remains, so `run_until`
+        // never leaves `now()` stuck at the last event — `sample_now()`
+        // reads drifting clocks at the deadline, not at a stale instant.
+        let mut w = quiet_world(6);
+        w.run_until(t(2.0));
+        // Simulate an event horizon: drop every pending event so the
+        // run_until loop drains immediately.
+        while w.engine.pop().is_some() {}
+        let stuck_at = w.now();
+        w.run_until(t(50.0));
+        assert_eq!(w.now(), t(50.0));
+        assert_eq!(w.sample_now().tau, t(50.0));
+        assert!(w.now() > stuck_at);
     }
 
     #[test]

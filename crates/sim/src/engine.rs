@@ -76,6 +76,27 @@ impl<T> Engine<T> {
         self.queue.schedule(at, payload)
     }
 
+    /// Schedules an event at `at` whose payload embeds its own [`EventId`]
+    /// (the id is assigned before the payload is built). See
+    /// [`EventQueue::schedule_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`Engine::now`] — causality violation.
+    pub fn schedule_at_with(
+        &mut self,
+        at: RealTime,
+        payload: impl FnOnce(EventId) -> T,
+    ) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} < now={now}",
+            at = at,
+            now = self.now
+        );
+        self.queue.schedule_with(at, payload)
+    }
+
     /// Schedules an event `after` from now.
     ///
     /// # Panics
@@ -216,6 +237,24 @@ mod tests {
         e.pop().unwrap();
         assert!(e.pop_until(t(3.0)).is_none());
         assert_eq!(e.now(), t(5.0));
+    }
+
+    #[test]
+    fn schedule_at_with_embeds_own_id() {
+        let mut e: Engine<EventId> = Engine::new();
+        let id = e.schedule_at_with(t(2.0), |id| id);
+        let (at, carried) = e.pop().unwrap();
+        assert_eq!(at, t(2.0));
+        assert_eq!(carried, id);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn schedule_at_with_in_past_panics() {
+        let mut e: Engine<EventId> = Engine::new();
+        e.schedule_at_with(t(10.0), |id| id);
+        e.pop().unwrap();
+        e.schedule_at_with(t(5.0), |id| id);
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //!   simulation time and drives event dispatch.
 //! * [`rng`] — [`RngHub`] / [`DetRng`], deterministic seeded RNG streams
 //!   forked by label so components cannot perturb each other's randomness.
+//! * [`pool`] — order-preserving scoped-thread fan-out for running many
+//!   independent seeds/scenarios at once with bit-identical results.
 //! * [`trace`] — lightweight structured trace ring buffer for debugging
 //!   simulations and asserting on event sequences in tests.
 //!
@@ -42,6 +44,7 @@
 
 pub mod engine;
 pub mod ids;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod time;
@@ -49,6 +52,7 @@ pub mod trace;
 
 pub use engine::Engine;
 pub use ids::ProcId;
+pub use pool::{default_workers, par_map, par_map_auto};
 pub use queue::{EventId, EventQueue};
 pub use rng::{DetRng, RngHub};
 pub use time::{RealTime, SimDuration};

@@ -1,0 +1,167 @@
+//! Order-preserving parallel execution of independent jobs.
+//!
+//! Simulations in this workspace are deliberately single-threaded — a
+//! simulation world is a pure function of its seed and is **not** `Send`
+//! (observers are shared-handle `Rc`s). What *is* embarrassingly
+//! parallel is running many independent seeds or scenario points at once:
+//! each job builds its own world inside the worker thread and only plain
+//! result data crosses threads.
+//!
+//! [`par_map`] provides exactly that: a scoped-thread fan-out over an item
+//! list where job `i`'s result lands in output slot `i`. Because every job
+//! consumes only its own input (plus the shared `Sync` closure), the
+//! results are **bit-identical** to running the same closure sequentially
+//! in index order — worker count and scheduling interleavings cannot leak
+//! into the output. The parallel-equals-sequential property is asserted by
+//! tests here and again at the campaign level in `byzclock-chaos`.
+//!
+//! Worker count resolution ([`default_workers`]): the `BYZCLOCK_THREADS`
+//! environment variable when set, otherwise
+//! [`std::thread::available_parallelism`]. With one worker (or one item)
+//! the jobs run inline on the caller's thread — no threads are spawned.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves the worker count: `BYZCLOCK_THREADS` if set and parseable
+/// (clamped to at least 1), otherwise the machine's available parallelism.
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("BYZCLOCK_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, fanning the calls out over at most `workers`
+/// threads, and returns the results **in item order**.
+///
+/// `f` receives `(index, item)`. Jobs are claimed from a shared atomic
+/// counter in index order, so early indices start first, but completion
+/// order is irrelevant: result `i` is written to slot `i`. A panicking job
+/// propagates the panic to the caller (via [`std::thread::scope`]).
+///
+/// With `workers <= 1` or fewer than two items the closure runs inline
+/// sequentially, which is also the reference behaviour the parallel path
+/// must (and does) reproduce bit-for-bit.
+pub fn par_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|it| Mutex::new(Some(it))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = jobs[i]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("job claimed twice");
+                let result = f(i, item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("job finished without a result")
+        })
+        .collect()
+}
+
+/// [`par_map`] with [`default_workers`] workers.
+pub fn par_map_auto<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let workers = default_workers();
+    par_map(items, workers, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(items, 8, |i, x| {
+            assert_eq!(i as u64, x);
+            x * x
+        });
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        // A job whose result depends only on its input: any scheduling must
+        // produce the same output vector as the inline path.
+        let job = |_: usize, seed: u64| {
+            let mut x = seed;
+            for _ in 0..1000 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+            }
+            x
+        };
+        let items: Vec<u64> = (0..64).collect();
+        let sequential = par_map(items.clone(), 1, job);
+        for workers in [2, 3, 8, 64] {
+            assert_eq!(par_map(items.clone(), workers, job), sequential);
+        }
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let out = par_map(vec![7u32], 16, |i, x| (i, x + 1));
+        assert_eq!(out, vec![(0, 8)]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u8> = par_map(Vec::<u8>::new(), 4, |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = par_map(vec![1, 2, 3], 100, |_, x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn default_workers_is_at_least_one() {
+        assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn auto_map_works() {
+        let out = par_map_auto((0..10u32).collect(), |_, x| x + 1);
+        assert_eq!(out, (1..11).collect::<Vec<u32>>());
+    }
+}

@@ -102,9 +102,21 @@ impl<T> EventQueue<T> {
     /// Schedules `payload` at absolute time `time`, returning a cancellation
     /// handle. Events at equal times pop in the order they were scheduled.
     pub fn schedule(&mut self, time: RealTime, payload: T) -> EventId {
+        self.schedule_with(time, |_| payload)
+    }
+
+    /// Like [`EventQueue::schedule`], but the payload may embed its own
+    /// [`EventId`]: the id is assigned first and passed to `payload`. This
+    /// lets an event carry an unambiguous handle to itself, which higher
+    /// layers use to match fired events against bookkeeping entries.
+    pub fn schedule_with(&mut self, time: RealTime, payload: impl FnOnce(EventId) -> T) -> EventId {
         let id = EventId(self.next_id);
         self.next_id += 1;
-        self.heap.push(Entry { time, id, payload });
+        self.heap.push(Entry {
+            time,
+            id,
+            payload: payload(id),
+        });
         self.live += 1;
         id
     }
@@ -206,6 +218,24 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_with_passes_the_assigned_id() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_with(t(1.0), |id| id);
+        let b = q.schedule_with(t(2.0), |id| id);
+        assert_ne!(a, b);
+        assert_eq!(q.pop().unwrap().1, a);
+        assert_eq!(q.pop().unwrap().1, b);
+    }
+
+    #[test]
+    fn schedule_with_ids_are_cancellable() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_with(t(1.0), |id| id);
+        assert!(q.cancel(a));
+        assert!(q.pop().is_none());
     }
 
     #[test]
