@@ -458,7 +458,11 @@ impl SyncNode {
     }
 
     fn complete_round(&mut self, out: &mut Vec<Output>) {
-        let active = self.active.take().expect("complete_round without round");
+        // Both callers check `active` first, but a panic here would take the
+        // whole world down mid-event — degrade to a no-op instead (D5).
+        let Some(active) = self.active.take() else {
+            return;
+        };
         let estimates: Vec<PeerEstimate> = active
             .samples
             .iter()

@@ -1,0 +1,35 @@
+//! `byzclock-lint` — determinism lint pass for the byzclock workspace.
+//!
+//! The reproduction's value rests on bit-exact determinism: chaos-campaign
+//! replay artifacts and the seq-vs-par bit-identity of the scoped-thread
+//! pool are only trustworthy if no code path sneaks in wall-clock time,
+//! unseeded randomness, unordered-map iteration, or NaN-sensitive float
+//! comparisons. This crate enforces that mechanically — a token-level
+//! static analyzer (no `syn` in the offline vendor set, and none needed)
+//! with five rules:
+//!
+//! | rule | slug                  | forbids                                      |
+//! |------|-----------------------|----------------------------------------------|
+//! | D1   | `wall-clock`          | `Instant`/`SystemTime` outside `bench`       |
+//! | D2   | `unseeded-rng`        | `thread_rng`/`from_entropy`/`OsRng`/`rand::random` |
+//! | D3   | `unordered-collection`| `HashMap`/`HashSet` in sim/runtime/protocol  |
+//! | D4   | `float-ord`           | `.partial_cmp(..)` calls (use `total_cmp`)   |
+//! | D5   | `hot-path-unwrap`     | `.unwrap()`/`.expect()` in `impl SyncNode`/`impl World` |
+//!
+//! Per-site escape: `// lint:allow(<slug>)` (or `d1`…`d5`) on the finding's
+//! line or the line directly above, with a justification in the same
+//! comment. Test code (`tests/` trees, `#[cfg(test)]`/`#[test]` items) is
+//! out of scope.
+//!
+//! Run: `cargo run -p byzclock-lint -- --workspace` (exit 0 = clean,
+//! 1 = findings, 2 = usage/IO error). The workspace-clean invariant is also
+//! asserted by this crate's test suite, so plain `cargo test` enforces it.
+
+#![forbid(unsafe_code)]
+
+pub mod rules;
+pub mod scan;
+pub mod tokenizer;
+
+pub use rules::{lint_source, Finding, RuleInfo, RULES};
+pub use scan::{find_workspace_root, lint_file, lint_workspace, SCANNED_CRATES};

@@ -1,0 +1,103 @@
+//! Workspace scanning: which files the determinism rules apply to.
+//!
+//! Scope (per the determinism-tooling issue): every non-test `.rs` file
+//! under `src/` of the listed crates. `crates/bench` is exempt (it is the
+//! one place allowed to read wall-clock time — it measures it) and
+//! `crates/lint` audits itself only via its own tests, not the workspace
+//! pass. Test code is excluded twice over: `tests/` trees are never
+//! walked, and `#[cfg(test)]`/`#[test]` items inside `src/` are skipped by
+//! the analyzer.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{lint_source, Finding};
+
+/// Crates whose `src/` trees the workspace pass audits.
+pub const SCANNED_CRATES: [&str; 8] = [
+    "clock",
+    "core",
+    "net",
+    "runtime",
+    "sim",
+    "adversary",
+    "chaos",
+    "harness",
+];
+
+/// Lints one file on disk.
+pub fn lint_file(path: &Path) -> io::Result<Vec<Finding>> {
+    let src = fs::read_to_string(path)?;
+    Ok(lint_source(&path.display().to_string(), &src))
+}
+
+/// Lints every scanned crate under `root` (the workspace root). Returned
+/// findings use root-relative paths and are sorted by (file, line, col).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for krate in SCANNED_CRATES {
+        let src_dir = root.join("crates").join(krate).join("src");
+        if !src_dir.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("expected crate source tree at {}", src_dir.display()),
+            ));
+        }
+        for file in rust_files(&src_dir)? {
+            let src = fs::read_to_string(&file)?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .display()
+                .to_string();
+            findings.extend(lint_source(&rel, &src));
+        }
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.col).cmp(&(b.file.as_str(), b.line, b.col)));
+    Ok(findings)
+}
+
+/// All `.rs` files under `dir`, recursively, in deterministic path order.
+fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&d)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Locates the workspace root: `CARGO_MANIFEST_DIR/../..` when running via
+/// `cargo run -p byzclock-lint`, else the current directory. Validated by
+/// the presence of `crates/`.
+pub fn find_workspace_root() -> io::Result<PathBuf> {
+    let mut candidates = Vec::new();
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        if let Some(root) = Path::new(&manifest).parent().and_then(Path::parent) {
+            candidates.push(root.to_path_buf());
+        }
+    }
+    candidates.push(std::env::current_dir()?);
+    for c in &candidates {
+        if c.join("crates").is_dir() && c.join("Cargo.toml").is_file() {
+            return Ok(c.clone());
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::NotFound,
+        "workspace root not found (run via `cargo run -p byzclock-lint` or from the repo root)",
+    ))
+}

@@ -1,0 +1,125 @@
+//! Fixture-driven tests: one file per rule that must trigger exactly that
+//! rule, one annotated file that must pass clean, and CLI exit-code checks
+//! driven through the built `byzclock-lint` binary.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use byzclock_lint::{lint_file, Finding};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn rules_hit(findings: &[Finding]) -> Vec<&'static str> {
+    let mut ids: Vec<&'static str> = findings.iter().map(|f| f.rule).collect();
+    ids.dedup();
+    ids
+}
+
+#[test]
+fn each_rule_fixture_triggers_exactly_its_rule() {
+    let cases = [
+        ("d1_wall_clock.rs", "d1"),
+        ("d2_unseeded_rng.rs", "d2"),
+        ("d3_unordered_collection.rs", "d3"),
+        ("d4_float_ord.rs", "d4"),
+        ("d5_hot_path_unwrap.rs", "d5"),
+    ];
+    for (file, rule) in cases {
+        let findings = lint_file(&fixture(file)).expect("fixture readable");
+        assert!(
+            !findings.is_empty(),
+            "{file}: expected at least one {rule} finding"
+        );
+        assert_eq!(
+            rules_hit(&findings),
+            vec![rule],
+            "{file}: expected only {rule} findings, got {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn d4_fixture_does_not_flag_the_sort_line_twice() {
+    // One `.partial_cmp` call → exactly one finding.
+    let findings = lint_file(&fixture("d4_float_ord.rs")).expect("fixture readable");
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].slug, "float-ord");
+}
+
+#[test]
+fn d5_fixture_flags_both_sync_node_and_world_methods() {
+    let findings = lint_file(&fixture("d5_hot_path_unwrap.rs")).expect("fixture readable");
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(findings.iter().any(|f| f.message.contains("handle")));
+    assert!(findings.iter().any(|f| f.message.contains("dispatch")));
+}
+
+#[test]
+fn allowed_fixture_passes_clean() {
+    let findings = lint_file(&fixture("allowed.rs")).expect("fixture readable");
+    assert!(findings.is_empty(), "expected clean, got {findings:#?}");
+}
+
+/// Runs the built `byzclock-lint` binary (compiled as a dependency of this
+/// integration test) with the given arguments.
+fn run_cli(args: &[&str]) -> std::process::Output {
+    let bin = env!("CARGO_BIN_EXE_byzclock-lint");
+    Command::new(bin)
+        .args(args)
+        .output()
+        .expect("byzclock-lint binary runs")
+}
+
+#[test]
+fn cli_exits_nonzero_on_each_rule_fixture() {
+    for file in [
+        "d1_wall_clock.rs",
+        "d2_unseeded_rng.rs",
+        "d3_unordered_collection.rs",
+        "d4_float_ord.rs",
+        "d5_hot_path_unwrap.rs",
+    ] {
+        let out = run_cli(&[fixture(file).to_str().expect("utf-8 path")]);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{file}: expected exit 1, stdout:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn cli_exits_zero_on_allowed_fixture_and_two_on_bad_usage() {
+    let out = run_cli(&[fixture("allowed.rs").to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(0));
+
+    let out = run_cli(&[]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = run_cli(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = run_cli(&["tests/fixtures/does_not_exist.rs"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn cli_rules_listing_names_all_five() {
+    let out = run_cli(&["--rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for slug in [
+        "wall-clock",
+        "unseeded-rng",
+        "unordered-collection",
+        "float-ord",
+        "hot-path-unwrap",
+    ] {
+        assert!(text.contains(slug), "--rules output missing {slug}");
+    }
+}

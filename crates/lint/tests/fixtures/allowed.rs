@@ -1,0 +1,45 @@
+//! Fixture: MUST pass clean — each would-be finding either carries a
+//! justified `lint:allow` escape or lives in test code, and the clean
+//! alternatives (BTreeMap, total_cmp, seeded RNG) appear as they should.
+
+use std::collections::BTreeMap;
+// Membership-only scratch set, never iterated. lint:allow(unordered-collection)
+use std::collections::HashSet;
+
+pub fn total(clocks: &BTreeMap<u32, f64>) -> f64 {
+    clocks.values().sum()
+}
+
+pub fn median(mut estimates: Vec<f64>) -> f64 {
+    // total_cmp: totally ordered, ∞ sentinels sort deterministically.
+    estimates.sort_by(f64::total_cmp);
+    estimates[estimates.len() / 2]
+}
+
+// Membership probe only. lint:allow(unordered-collection)
+pub fn seen(tombstones: &HashSet<u64>, id: u64) -> bool {
+    tombstones.contains(&id)
+}
+
+pub struct SyncNode {
+    active: Option<u64>,
+}
+
+impl SyncNode {
+    pub fn handle(&mut self) -> u64 {
+        let Some(active) = self.active.take() else {
+            return 0;
+        };
+        active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is out of scope: wall-clock timing of a test is fine.
+    #[test]
+    fn timer_works() {
+        let start = std::time::Instant::now();
+        assert!(start.elapsed().as_secs() < 60);
+    }
+}

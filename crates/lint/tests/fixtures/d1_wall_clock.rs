@@ -1,0 +1,12 @@
+//! Fixture: MUST trigger D1 (wall-clock) — real time in simulated code.
+
+use std::time::Instant;
+
+pub fn elapsed_ms() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_millis()
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

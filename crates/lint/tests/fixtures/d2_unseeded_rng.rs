@@ -1,0 +1,11 @@
+//! Fixture: MUST trigger D2 (unseeded-rng) — OS entropy breaks replay.
+
+pub fn jitter() -> f64 {
+    use rand::Rng;
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0.0..1.0)
+}
+
+pub fn coin() -> bool {
+    rand::random()
+}

@@ -1,0 +1,9 @@
+//! Fixture: MUST trigger D3 (unordered-collection) — hash iteration order
+//! is nondeterministic across runs and platforms.
+
+use std::collections::HashMap;
+
+pub fn total(clocks: &HashMap<u32, f64>) -> f64 {
+    // The fold visits entries in hash order: replay-breaking.
+    clocks.values().sum()
+}

@@ -1,0 +1,8 @@
+//! Fixture: MUST trigger D4 (float-ord) — NaN-unsound comparison in
+//! convergence-function-style selection code.
+
+pub fn median(mut estimates: Vec<f64>) -> f64 {
+    // `partial_cmp(..).unwrap()` panics on NaN and mis-sorts ∞ sentinels.
+    estimates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    estimates[estimates.len() / 2]
+}

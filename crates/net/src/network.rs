@@ -51,8 +51,9 @@ impl SendOutcome {
 /// topology (for partitions and transient outages).
 #[derive(Debug, Clone, Default)]
 pub struct LinkFilter {
-    /// Directed pairs currently down.
-    down: std::collections::HashSet<(ProcId, ProcId)>,
+    /// Directed pairs currently down. A `BTreeSet` so that `Debug` output
+    /// and any future iteration are deterministic (D3).
+    down: std::collections::BTreeSet<(ProcId, ProcId)>,
 }
 
 impl LinkFilter {

@@ -20,8 +20,25 @@
 //! [`std::thread::available_parallelism`]. With one worker (or one item)
 //! the jobs run inline on the caller's thread — no threads are spawned.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+// Under `--cfg loom` the pool runs on loom's modeled primitives so the
+// claim/slot protocol below can be exhaustively model-checked (see
+// tests/loom_pool.rs); the production build uses std directly.
+#[cfg(loom)]
+use loom::{
+    sync::{
+        atomic::{AtomicUsize, Ordering},
+        Mutex,
+    },
+    thread,
+};
+#[cfg(not(loom))]
+use std::{
+    sync::{
+        atomic::{AtomicUsize, Ordering},
+        Mutex,
+    },
+    thread,
+};
 
 /// Resolves the worker count: `BYZCLOCK_THREADS` if set and parseable
 /// (clamped to at least 1), otherwise the machine's available parallelism.
@@ -42,7 +59,7 @@ pub fn default_workers() -> usize {
 /// `f` receives `(index, item)`. Jobs are claimed from a shared atomic
 /// counter in index order, so early indices start first, but completion
 /// order is irrelevant: result `i` is written to slot `i`. A panicking job
-/// propagates the panic to the caller (via [`std::thread::scope`]).
+/// propagates the panic to the caller (via `thread::scope`).
 ///
 /// With `workers <= 1` or fewer than two items the closure runs inline
 /// sequentially, which is also the reference behaviour the parallel path
@@ -64,7 +81,7 @@ where
     let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|it| Mutex::new(Some(it))).collect();
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
+    thread::scope(|scope| {
         for _ in 0..workers.min(n) {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
@@ -102,7 +119,10 @@ where
     par_map(items, workers, f)
 }
 
-#[cfg(test)]
+// The regular tests spawn real threads and run 100-item workloads — far too
+// big a state space for the model checker, and they use std-only APIs; the
+// loom build runs tests/loom_pool.rs instead.
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

@@ -8,6 +8,9 @@
 //! it reaches the top of the heap, so `cancel` is O(1) amortized.
 
 use std::cmp::Ordering;
+// Membership-only sets (contains/insert/remove, never iterated), so hash
+// ordering cannot leak into event order; O(1) lookups matter on the pop
+// hot path. lint:allow(unordered-collection)
 use std::collections::{BinaryHeap, HashSet};
 
 use crate::time::RealTime;
@@ -69,6 +72,7 @@ impl<T> Ord for Entry<T> {
 pub struct EventQueue<T> {
     heap: BinaryHeap<Entry<T>>,
     /// Ids cancelled while their entry is still in the heap (tombstones).
+    /// Membership-only, never iterated. lint:allow(unordered-collection)
     cancelled: HashSet<EventId>,
     next_id: u64,
     /// Count of heap entries that are not tombstoned.
@@ -77,6 +81,7 @@ pub struct EventQueue<T> {
     /// `cancelled` — tombstones are removed from `cancelled` when skimmed.
     gone_watermark: u64,
     /// Ids above the watermark that have left the heap.
+    /// Membership-only, never iterated. lint:allow(unordered-collection)
     gone_above: HashSet<EventId>,
 }
 
@@ -91,11 +96,11 @@ impl<T> EventQueue<T> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: HashSet::new(), // lint:allow(unordered-collection)
             next_id: 0,
             live: 0,
             gone_watermark: 0,
-            gone_above: HashSet::new(),
+            gone_above: HashSet::new(), // lint:allow(unordered-collection)
         }
     }
 
@@ -350,7 +355,7 @@ mod tests {
         for i in 0..1000u64 {
             ids.push(q.schedule(t((i % 17) as f64), i));
         }
-        let mut cancelled = std::collections::HashSet::new();
+        let mut cancelled = std::collections::BTreeSet::new();
         for (i, id) in ids.iter().enumerate() {
             if i % 3 == 0 {
                 assert!(q.cancel(*id));

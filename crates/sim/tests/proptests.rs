@@ -27,8 +27,11 @@ proptest! {
     fn queue_ordering_and_len_invariants(ops in proptest::collection::vec(op_strategy(), 0..200)) {
         let mut q = EventQueue::new();
         let mut ids = Vec::new();
-        let mut live = std::collections::HashMap::new(); // payload -> time
-        let mut cancelled = std::collections::HashSet::new();
+        // BTree collections: the model's `min_live` fold and any failure
+        // output must not depend on hash iteration order (D3 discipline,
+        // applied to the test model for identical shrink traces).
+        let mut live = std::collections::BTreeMap::new(); // payload -> time
+        let mut cancelled = std::collections::BTreeSet::new();
         let mut counter = 0u64;
         for op in ops {
             match op {

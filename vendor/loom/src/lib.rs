@@ -1,0 +1,113 @@
+//! Workspace-local offline stand-in for the [`loom`] permutation tester.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the loom API subset byzclock uses — `loom::model`, `loom::thread::scope`
+//! / `spawn`, `loom::sync::Mutex`, `loom::sync::atomic::AtomicUsize` — on
+//! top of a real bounded exhaustive interleaving explorer rather than a
+//! stress loop:
+//!
+//! - Modeled threads are real OS threads driven by a baton-passing
+//!   scheduler: exactly one runs at a time, and every synchronization
+//!   operation is a scheduling point.
+//! - [`model`] explores the tree of scheduling decisions depth-first by
+//!   replaying choice prefixes (stateless model checking, à la CHESS),
+//!   bounded by a preemption budget (`LOOM_MAX_PREEMPTIONS`, default 2 —
+//!   the CHESS result: almost all concurrency bugs need ≤ 2 preemptions)
+//!   and an execution cap (`LOOM_MAX_ITERATIONS`, default 20 000).
+//! - Exploration is fully deterministic: no randomness, no wall-clock.
+//!
+//! Honest limitations versus real loom: only sequentially consistent
+//! semantics are modeled (no weak-memory reorderings, no `Ordering`
+//! distinctions), and there is no UnsafeCell access-tracking data-race
+//! detector — racy-by-construction code will be *serialized*, not
+//! reported. The byzclock CI pairs this with a ThreadSanitizer job for
+//! race detection proper; see DESIGN.md "Determinism lints and concurrency
+//! verification".
+//!
+//! [`loom`]: https://docs.rs/loom
+
+mod sched;
+pub mod sync;
+pub mod thread;
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use sched::{clear_current, set_current, Sched};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs `f` under every schedule the bounded explorer can reach, panicking
+/// (with the failing execution's panic) as soon as one schedule fails.
+///
+/// Each execution runs `f` once under a controlled scheduler that replays
+/// a decision prefix and extends it; the prefix is then advanced
+/// depth-first. The model closure must be deterministic apart from
+/// scheduling (loom primitives are the only allowed nondeterminism).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync,
+{
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 20_000);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let sched = Arc::new(Sched::new(prefix.clone(), max_preemptions));
+        let run_result = std::thread::scope(|s| {
+            let sched_root = sched.clone();
+            let froot = &f;
+            s.spawn(move || {
+                set_current(sched_root.clone(), 0);
+                sched_root.start_thread(0);
+                let r = catch_unwind(AssertUnwindSafe(froot));
+                sched_root.finish_thread(0);
+                clear_current();
+                r
+            })
+            .join()
+        });
+        match run_result {
+            Ok(Ok(())) => {
+                if let Some(stashed) = sched.take_panic() {
+                    resume_unwind(stashed);
+                }
+            }
+            Ok(Err(payload)) | Err(payload) => {
+                // Prefer the stashed original payload over std scope's
+                // generic "a scoped thread panicked" replacement.
+                resume_unwind(sched.take_panic().unwrap_or(payload));
+            }
+        }
+        let trace = sched.take_trace();
+        // Depth-first advance: drop exhausted trailing decisions, bump the
+        // deepest one with an untried alternative.
+        let mut next: Vec<usize> = trace.iter().map(|c| c.idx).collect();
+        loop {
+            match next.last().copied() {
+                None => return, // tree exhausted
+                Some(last) if last + 1 < trace[next.len() - 1].alts => {
+                    *next.last_mut().expect("non-empty") = last + 1;
+                    break;
+                }
+                Some(_) => {
+                    next.pop();
+                }
+            }
+        }
+        prefix = next;
+        if iterations >= max_iterations {
+            eprintln!(
+                "loom (offline stand-in): stopping after {iterations} executions \
+                 (LOOM_MAX_ITERATIONS) with schedules left unexplored"
+            );
+            return;
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Controlled scheduler and schedule explorer.
+//!
+//! Modeled threads are real OS threads, but only one runs at a time: a
+//! "baton" (the `current` field) is handed from thread to thread at
+//! *scheduling points* — one before every modeled synchronization
+//! operation (atomic access, mutex acquisition) and one at every block /
+//! finish. At each point the set of runnable threads forms the branch
+//! alternatives of a decision tree; [`crate::model`] explores that tree
+//! depth-first by replaying a choice prefix and extending it, exactly the
+//! stateless-model-checking scheme of CHESS. Exploration is bounded by a
+//! preemption budget (`LOOM_MAX_PREEMPTIONS`, default 2): once the budget
+//! is spent, a runnable thread is never switched away from involuntarily.
+//!
+//! Everything is deterministic — thread registration order, runnable-set
+//! ordering, and choice replay — so the same prefix always reproduces the
+//! same execution.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Sched>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Scheduler handle + modeled-thread id of the calling thread.
+///
+/// Panics when called outside a [`crate::model`] execution: every loom
+/// primitive requires the controlled scheduler.
+pub(crate) fn current() -> (Arc<Sched>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom primitive used outside loom::model")
+    })
+}
+
+pub(crate) fn set_current(sched: Arc<Sched>, id: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((sched, id)));
+}
+
+pub(crate) fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Waiting for the given mutex to be released.
+    BlockedOnMutex(usize),
+    /// Waiting for every *other* modeled thread to finish (scope join).
+    BlockedOnOthers,
+    Finished,
+}
+
+/// One decision point: how many alternatives existed and which was taken.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChoicePoint {
+    pub(crate) alts: usize,
+    pub(crate) idx: usize,
+}
+
+#[derive(Debug)]
+struct State {
+    status: Vec<Status>,
+    /// Modeled-thread id holding the baton; `usize::MAX` once all finish.
+    current: usize,
+    mutex_held: Vec<bool>,
+    /// Choice indices to replay from a previous execution.
+    prefix: Vec<usize>,
+    /// Decisions taken during this execution (replayed + fresh).
+    trace: Vec<ChoicePoint>,
+    preemptions: usize,
+    max_preemptions: usize,
+}
+
+/// The per-execution controlled scheduler.
+pub(crate) struct Sched {
+    st: Mutex<State>,
+    cv: Condvar,
+    /// First panic payload from a modeled thread. `std::thread::scope`
+    /// replaces an unjoined child's payload with a generic "a scoped thread
+    /// panicked", so the original is stashed here and re-raised by
+    /// [`crate::model`].
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Sched {
+    /// New scheduler with thread 0 (the model root) registered and running.
+    pub(crate) fn new(prefix: Vec<usize>, max_preemptions: usize) -> Self {
+        Sched {
+            st: Mutex::new(State {
+                status: vec![Status::Runnable],
+                current: 0,
+                mutex_held: Vec::new(),
+                prefix,
+                trace: Vec::new(),
+                preemptions: 0,
+                max_preemptions,
+            }),
+            cv: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Records the first panic payload of this execution (first one wins).
+    pub(crate) fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().expect("loom panic slot poisoned");
+        slot.get_or_insert(payload);
+    }
+
+    /// Takes the stashed panic payload, if any modeled thread panicked.
+    pub(crate) fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.panic.lock().expect("loom panic slot poisoned").take()
+    }
+
+    /// Decisions recorded by the finished execution.
+    pub(crate) fn take_trace(&self) -> Vec<ChoicePoint> {
+        std::mem::take(&mut self.st.lock().expect("loom scheduler poisoned").trace)
+    }
+
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock();
+        st.status.push(Status::Runnable);
+        st.status.len() - 1
+    }
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.lock();
+        st.mutex_held.push(false);
+        st.mutex_held.len() - 1
+    }
+
+    /// Blocks a freshly spawned modeled thread until it is first scheduled.
+    pub(crate) fn start_thread(&self, me: usize) {
+        let st = self.lock();
+        self.wait_for_turn(st, me);
+    }
+
+    /// Scheduling point: hand the baton to the next chosen thread (possibly
+    /// `me` again) and wait until `me` is scheduled.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = self.lock();
+        self.pick_next(&mut st, me);
+        self.wait_for_turn(st, me);
+    }
+
+    /// Marks `me` finished, wakes any scope-joiner whose children are all
+    /// done, and passes the baton on.
+    pub(crate) fn finish_thread(&self, me: usize) {
+        let mut st = self.lock();
+        st.status[me] = Status::Finished;
+        self.wake_scope_waiters(&mut st);
+        self.pick_next(&mut st, me);
+        self.cv.notify_all();
+    }
+
+    /// Acquires modeled mutex `mid` for `me`, blocking (and rescheduling)
+    /// while it is held elsewhere. The scheduling point sits before the
+    /// acquire, so lock-order interleavings are explored.
+    pub(crate) fn mutex_lock(&self, me: usize, mid: usize) {
+        self.yield_point(me);
+        loop {
+            let mut st = self.lock();
+            if !st.mutex_held[mid] {
+                st.mutex_held[mid] = true;
+                return;
+            }
+            st.status[me] = Status::BlockedOnMutex(mid);
+            self.pick_next(&mut st, me);
+            self.wait_for_turn(st, me);
+        }
+    }
+
+    /// Releases modeled mutex `mid` and makes its waiters runnable. Not a
+    /// scheduling point: the releaser keeps the baton (the next sync op of
+    /// any thread is the next decision).
+    pub(crate) fn mutex_unlock(&self, _me: usize, mid: usize) {
+        let mut st = self.lock();
+        st.mutex_held[mid] = false;
+        for s in st.status.iter_mut() {
+            if *s == Status::BlockedOnMutex(mid) {
+                *s = Status::Runnable;
+            }
+        }
+    }
+
+    /// Blocks `me` until every other modeled thread has finished (the
+    /// implicit join of `thread::scope`).
+    pub(crate) fn wait_all_others(&self, me: usize) {
+        loop {
+            let mut st = self.lock();
+            let all_done = st
+                .status
+                .iter()
+                .enumerate()
+                .all(|(i, s)| i == me || *s == Status::Finished);
+            if all_done {
+                return;
+            }
+            st.status[me] = Status::BlockedOnOthers;
+            self.pick_next(&mut st, me);
+            self.wait_for_turn(st, me);
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.st.lock().expect("loom scheduler poisoned")
+    }
+
+    fn wake_scope_waiters(&self, st: &mut State) {
+        let n = st.status.len();
+        for p in 0..n {
+            if st.status[p] == Status::BlockedOnOthers
+                && (0..n).all(|q| q == p || st.status[q] == Status::Finished)
+            {
+                st.status[p] = Status::Runnable;
+            }
+        }
+    }
+
+    /// Core decision: choose the next thread among the runnable set,
+    /// following the replay prefix when inside it and taking the first
+    /// alternative beyond it. Switching away from a still-runnable current
+    /// thread consumes preemption budget; with the budget spent the current
+    /// thread (if runnable) is the only alternative.
+    fn pick_next(&self, st: &mut State, me: usize) {
+        let runnable: Vec<usize> = st
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.status.iter().any(|s| *s != Status::Finished) {
+                panic!("loom: deadlock — every unfinished thread is blocked");
+            }
+            st.current = usize::MAX;
+            return;
+        }
+        let me_runnable = st.status[me] == Status::Runnable;
+        let alts: Vec<usize> = if me_runnable && st.preemptions >= st.max_preemptions {
+            vec![me]
+        } else {
+            runnable
+        };
+        let depth = st.trace.len();
+        let idx = if depth < st.prefix.len() {
+            let i = st.prefix[depth];
+            assert!(
+                i < alts.len(),
+                "loom: non-deterministic model — replay prefix no longer valid \
+                 (choice {i} of {} alternatives at depth {depth})",
+                alts.len()
+            );
+            i
+        } else {
+            0
+        };
+        let chosen = alts[idx];
+        st.trace.push(ChoicePoint {
+            alts: alts.len(),
+            idx,
+        });
+        if chosen != me && me_runnable {
+            st.preemptions += 1;
+        }
+        st.current = chosen;
+    }
+
+    fn wait_for_turn(&self, mut st: MutexGuard<'_, State>, me: usize) {
+        self.cv.notify_all();
+        while st.current != me {
+            st = self.cv.wait(st).expect("loom scheduler poisoned");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Modeled synchronization primitives. Only the subset used by byzclock is
+//! provided: `Mutex` and `sync::atomic::{AtomicUsize, Ordering}`.
+//!
+//! Execution under the controlled scheduler is fully serialized (one
+//! modeled thread runs at a time, hand-offs synchronize through a real
+//! mutex/condvar pair), so the data cells can be plain `UnsafeCell`s: every
+//! access is separated from every other by a happens-before edge through
+//! the scheduler state lock.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+
+use crate::sched::current;
+
+pub use std::sync::LockResult;
+
+/// Mirror of [`std::sync::Mutex`] under the controlled scheduler. Never
+/// poisons: `lock` always returns `Ok`.
+pub struct Mutex<T> {
+    mid: usize,
+    data: UnsafeCell<T>,
+}
+
+// Safety: all access to `data` is serialized by the scheduler baton; the
+// same Send/Sync bounds as std's Mutex apply.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a modeled mutex. Must be called inside `loom::model`.
+    pub fn new(value: T) -> Self {
+        let (sched, _) = current();
+        Mutex {
+            mid: sched.register_mutex(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires the mutex, cooperatively blocking while it is held.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let (sched, me) = current();
+        sched.mutex_lock(me, self.mid);
+        Ok(MutexGuard { mutex: self })
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard; releasing makes waiters runnable but keeps the baton.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: guard existence proves exclusive scheduler-granted access.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: as above.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let (sched, me) = current();
+        sched.mutex_unlock(me, self.mutex.mid);
+    }
+}
+
+pub mod atomic {
+    //! Modeled atomics: every operation is a scheduling point.
+
+    use super::*;
+
+    pub use std::sync::atomic::Ordering;
+
+    /// Mirror of [`std::sync::atomic::AtomicUsize`]; each operation yields
+    /// to the scheduler first so all interleavings around it are explored.
+    pub struct AtomicUsize {
+        value: UnsafeCell<usize>,
+    }
+
+    // Safety: access serialized by the scheduler baton (see module docs).
+    unsafe impl Send for AtomicUsize {}
+    unsafe impl Sync for AtomicUsize {}
+
+    impl AtomicUsize {
+        pub fn new(value: usize) -> Self {
+            AtomicUsize {
+                value: UnsafeCell::new(value),
+            }
+        }
+
+        pub fn load(&self, _order: Ordering) -> usize {
+            let (sched, me) = current();
+            sched.yield_point(me);
+            // Safety: baton held.
+            unsafe { *self.value.get() }
+        }
+
+        pub fn store(&self, value: usize, _order: Ordering) {
+            let (sched, me) = current();
+            sched.yield_point(me);
+            // Safety: baton held.
+            unsafe { *self.value.get() = value }
+        }
+
+        pub fn fetch_add(&self, delta: usize, _order: Ordering) -> usize {
+            let (sched, me) = current();
+            sched.yield_point(me);
+            // Safety: baton held; the read-modify-write is atomic because
+            // no other modeled thread runs between yield points.
+            unsafe {
+                let p = self.value.get();
+                let old = *p;
+                *p = old.wrapping_add(delta);
+                old
+            }
+        }
+    }
+
+    impl std::fmt::Debug for AtomicUsize {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("AtomicUsize").finish_non_exhaustive()
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Scoped-thread API mirroring `std::thread::scope` under the controlled
+//! scheduler. Spawned threads register with the scheduler, wait to be
+//! scheduled before running, and pass the baton on when they finish (even
+//! on panic). The scope blocks its caller — via the scheduler, not a raw
+//! join — until every spawned thread has finished, so the baton can keep
+//! circulating while the parent sits at the implicit join.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::sched::{clear_current, current, set_current, Sched};
+
+pub use std::thread::ScopedJoinHandle;
+
+/// Mirror of [`std::thread::Scope`] carrying the controlled scheduler.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    sched: Arc<Sched>,
+}
+
+/// Mirror of [`std::thread::scope`]: runs `f` with a [`Scope`], then blocks
+/// (cooperatively) until every spawned modeled thread has finished.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'a, 'scope> FnOnce(&'a Scope<'scope, 'env>) -> T,
+{
+    let (sched, me) = current();
+    std::thread::scope(|s| {
+        let wrapper = Scope {
+            inner: s,
+            sched: sched.clone(),
+        };
+        let out = f(&wrapper);
+        // Cooperative join: hand the baton around until all children are
+        // done, so std's real (invisible-to-the-scheduler) join below is
+        // instantaneous and cannot deadlock the baton.
+        sched.wait_all_others(me);
+        out
+    })
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Mirror of [`std::thread::Scope::spawn`] with scheduler registration.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let sched = self.sched.clone();
+        let id = sched.register_thread();
+        self.inner.spawn(move || {
+            set_current(sched.clone(), id);
+            sched.start_thread(id);
+            let result = catch_unwind(AssertUnwindSafe(f));
+            sched.finish_thread(id);
+            clear_current();
+            match result {
+                Ok(v) => v,
+                Err(e) => {
+                    // Stash the real payload for `model` to re-raise —
+                    // std's scope replaces an unjoined child's panic with a
+                    // generic message — then propagate so the scope knows.
+                    sched.record_panic(e);
+                    resume_unwind(Box::new("loom: modeled thread panicked (payload stashed)"))
+                }
+            }
+        })
+    }
+}
+
+/// Mirror of [`std::thread::yield_now`]: an explicit scheduling point.
+pub fn yield_now() {
+    let (sched, me) = current();
+    sched.yield_point(me);
+}

@@ -1,0 +1,10 @@
+/root/repo/vendor/loom/target/debug/deps/loom-4e35c4219cc59be5.d: src/lib.rs src/sched.rs src/sync.rs src/thread.rs
+
+/root/repo/vendor/loom/target/debug/deps/libloom-4e35c4219cc59be5.rlib: src/lib.rs src/sched.rs src/sync.rs src/thread.rs
+
+/root/repo/vendor/loom/target/debug/deps/libloom-4e35c4219cc59be5.rmeta: src/lib.rs src/sched.rs src/sync.rs src/thread.rs
+
+src/lib.rs:
+src/sched.rs:
+src/sync.rs:
+src/thread.rs:

@@ -1,0 +1,8 @@
+/root/repo/vendor/loom/target/debug/deps/loom-a59a79ecbf9a2d7d.d: src/lib.rs src/sched.rs src/sync.rs src/thread.rs
+
+/root/repo/vendor/loom/target/debug/deps/loom-a59a79ecbf9a2d7d: src/lib.rs src/sched.rs src/sync.rs src/thread.rs
+
+src/lib.rs:
+src/sched.rs:
+src/sync.rs:
+src/thread.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/loom/target/debug/deps/smoke-1c095871650baeb0.d: tests/smoke.rs
+
+/root/repo/vendor/loom/target/debug/deps/smoke-1c095871650baeb0: tests/smoke.rs
+
+tests/smoke.rs:
