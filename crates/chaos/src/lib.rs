@@ -39,5 +39,5 @@ pub use campaign::{
 };
 pub use invariant::{InvariantSuite, Violation, ViolationLog, MAX_VIOLATIONS};
 pub use plan::{DisciplineSpec, FaultPlan, LinkCutSpec, RestartSpec, SpikeSpec};
-pub use replay::{replay, ReplayArtifact, ReplayOutcome};
+pub use replay::{replay, replay_with_workers, ReplayArtifact, ReplayOutcome};
 pub use shrink::{shrink, SHRINK_BUDGET};

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! chaos campaign [--plans N] [--seed S] [--workers W] [--out FILE]
-//! chaos replay <artifact.json>
+//! chaos replay <artifact.json> [--workers W]
 //! ```
 //!
 //! `campaign` samples and runs N composed fault plans (fanned across
@@ -10,60 +10,109 @@
 //! any worker count), prints a verdict line per plan, and (with `--out`)
 //! writes the full report — including one replay artifact per violating
 //! plan — as JSON. `replay` re-executes a single artifact and exits 0 iff
-//! the recorded violations reproduce bit-identically.
+//! the recorded violations reproduce bit-identically; with `--workers W`
+//! it runs W independent replicas in parallel and requires every one of
+//! them to reproduce (racing replicas are the strictest determinism
+//! check).
 
 use std::process::ExitCode;
 
 use byzclock_chaos::{
-    replay, run_campaign_with_workers, CampaignConfig, ReplayArtifact, ReplayOutcome,
+    replay_with_workers, run_campaign_with_workers, CampaignConfig, ReplayArtifact, ReplayOutcome,
 };
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("campaign") => campaign(&args[1..]),
-        Some("replay") => replay_cmd(&args[1..]),
+        Some("campaign") => match parse_campaign(&args[1..]) {
+            Ok(opts) => campaign(opts),
+            Err(msg) => usage(&msg),
+        },
+        Some("replay") => match parse_replay(&args[1..]) {
+            Ok(opts) => replay_cmd(opts),
+            Err(msg) => usage(&msg),
+        },
         _ => {
             eprintln!("usage: chaos campaign [--plans N] [--seed S] [--workers W] [--out FILE]");
-            eprintln!("       chaos replay <artifact.json>");
+            eprintln!("       chaos replay <artifact.json> [--workers W]");
             ExitCode::from(2)
         }
     }
 }
 
-fn campaign(args: &[String]) -> ExitCode {
-    let mut plans = 50usize;
-    let mut seed = 0u64;
-    let mut workers = byzclock_sim::default_workers();
-    let mut out: Option<String> = None;
+/// Parsed `campaign` arguments.
+#[derive(Debug, PartialEq)]
+struct CampaignOpts {
+    plans: usize,
+    seed: u64,
+    workers: usize,
+    out: Option<String>,
+}
+
+fn parse_campaign(args: &[String]) -> Result<CampaignOpts, String> {
+    let mut opts = CampaignOpts {
+        plans: 50,
+        seed: 0,
+        workers: byzclock_sim::default_workers(),
+        out: None,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--plans" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => plans = v,
-                None => return usage("--plans needs a number"),
-            },
-            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => seed = v,
-                None => return usage("--seed needs a number"),
-            },
-            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => workers = v,
-                None => return usage("--workers needs a number"),
-            },
+            "--plans" => opts.plans = parse_value(it.next(), "--plans")?,
+            "--seed" => opts.seed = parse_value(it.next(), "--seed")?,
+            "--workers" => opts.workers = parse_value(it.next(), "--workers")?,
             "--out" => match it.next() {
-                Some(v) => out = Some(v.clone()),
-                None => return usage("--out needs a path"),
+                Some(v) => opts.out = Some(v.clone()),
+                None => return Err("--out needs a path".into()),
             },
-            other => return usage(&format!("unknown argument {other}")),
+            other => return Err(format!("unknown argument {other}")),
         }
     }
+    Ok(opts)
+}
 
+/// Parsed `replay` arguments.
+#[derive(Debug, PartialEq)]
+struct ReplayOpts {
+    path: String,
+    workers: usize,
+}
+
+fn parse_replay(args: &[String]) -> Result<ReplayOpts, String> {
+    let mut path: Option<String> = None;
+    let mut workers = 1usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => workers = parse_value(it.next(), "--workers")?,
+            other if other.starts_with('-') => return Err(format!("unknown argument {other}")),
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    return Err("replay takes exactly one artifact path".into());
+                }
+            }
+        }
+    }
+    let path = path.ok_or("replay needs an artifact path")?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    Ok(ReplayOpts { path, workers })
+}
+
+fn parse_value<T: std::str::FromStr>(value: Option<&String>, flag: &str) -> Result<T, String> {
+    value
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("{flag} needs a number"))
+}
+
+fn campaign(opts: CampaignOpts) -> ExitCode {
     let config = CampaignConfig {
-        root_seed: seed,
-        plans,
+        root_seed: opts.seed,
+        plans: opts.plans,
     };
-    let report = run_campaign_with_workers(&config, workers);
+    let report = run_campaign_with_workers(&config, opts.workers);
     for v in &report.verdicts {
         let dims = v.plan.dimensions().join("+");
         if v.violations.is_empty() {
@@ -84,7 +133,7 @@ fn campaign(args: &[String]) -> ExitCode {
         report.artifacts.len(),
         report.root_seed
     );
-    if let Some(path) = out {
+    if let Some(path) = opts.out {
         let json = serde_json::to_string_pretty(&report).expect("report serializes");
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("error: cannot write {path}: {e}");
@@ -95,10 +144,8 @@ fn campaign(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn replay_cmd(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else {
-        return usage("replay needs an artifact path");
-    };
+fn replay_cmd(opts: ReplayOpts) -> ExitCode {
+    let path = &opts.path;
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -114,13 +161,15 @@ fn replay_cmd(args: &[String]) -> ExitCode {
         }
     };
     println!(
-        "replaying plan {} of campaign seed {} ({} recorded violations, invariant {})",
+        "replaying plan {} of campaign seed {} ({} recorded violations, invariant {}, {} replica{})",
         artifact.plan_index,
         artifact.root_seed,
         artifact.violations.len(),
-        artifact.invariant
+        artifact.invariant,
+        opts.workers,
+        if opts.workers == 1 { "" } else { "s" }
     );
-    match replay(&artifact) {
+    match replay_with_workers(&artifact, opts.workers) {
         ReplayOutcome::Reproduced => {
             println!("reproduced bit-identically");
             ExitCode::SUCCESS
@@ -139,4 +188,71 @@ fn replay_cmd(args: &[String]) -> ExitCode {
 fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     ExitCode::from(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn replay_defaults_to_one_worker() {
+        let opts = parse_replay(&strings(&["a.json"])).unwrap();
+        assert_eq!(
+            opts,
+            ReplayOpts {
+                path: "a.json".into(),
+                workers: 1
+            }
+        );
+    }
+
+    #[test]
+    fn replay_accepts_workers_like_campaign() {
+        let opts = parse_replay(&strings(&["a.json", "--workers", "6"])).unwrap();
+        assert_eq!(opts.workers, 6);
+        // flag order is free, like campaign's parser
+        let opts = parse_replay(&strings(&["--workers", "2", "b.json"])).unwrap();
+        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.path, "b.json");
+    }
+
+    #[test]
+    fn replay_rejects_bad_arguments() {
+        assert!(parse_replay(&strings(&[])).is_err());
+        assert!(parse_replay(&strings(&["--workers", "3"])).is_err());
+        assert!(parse_replay(&strings(&["a.json", "--workers"])).is_err());
+        assert!(parse_replay(&strings(&["a.json", "--workers", "zero"])).is_err());
+        assert!(parse_replay(&strings(&["a.json", "--workers", "0"])).is_err());
+        assert!(parse_replay(&strings(&["a.json", "b.json"])).is_err());
+        assert!(parse_replay(&strings(&["a.json", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn campaign_parses_all_flags() {
+        let opts = parse_campaign(&strings(&[
+            "--plans",
+            "10",
+            "--seed",
+            "3",
+            "--workers",
+            "2",
+            "--out",
+            "r.json",
+        ]))
+        .unwrap();
+        assert_eq!(opts.plans, 10);
+        assert_eq!(opts.seed, 3);
+        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.out.as_deref(), Some("r.json"));
+    }
+
+    #[test]
+    fn campaign_rejects_unknown_and_valueless_flags() {
+        assert!(parse_campaign(&strings(&["--plans"])).is_err());
+        assert!(parse_campaign(&strings(&["--nope"])).is_err());
+    }
 }

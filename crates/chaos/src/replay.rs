@@ -63,15 +63,32 @@ pub enum ReplayOutcome {
 /// Re-runs the artifact's plan and compares against its recorded
 /// violations, bit for bit.
 pub fn replay(artifact: &ReplayArtifact) -> ReplayOutcome {
-    let got = run_plan(&artifact.plan);
-    if got == artifact.violations {
-        ReplayOutcome::Reproduced
-    } else {
-        ReplayOutcome::Diverged {
-            expected: artifact.violations.clone(),
-            got,
+    replay_with_workers(artifact, 1)
+}
+
+/// Like [`replay`], but runs `workers` independent replicas of the plan in
+/// parallel and requires **every** replica to reproduce the recorded
+/// violations.
+///
+/// This is the strictest form of the determinism claim: the run must be a
+/// pure function of the plan even across threads racing on the same
+/// machine. A single diverging replica fails the whole replay (the
+/// lowest-index divergence is reported, so the outcome itself is
+/// deterministic).
+pub fn replay_with_workers(artifact: &ReplayArtifact, workers: usize) -> ReplayOutcome {
+    let replicas = workers.max(1);
+    let runs = byzclock_sim::pool::par_map(vec![&artifact.plan; replicas], workers, |_, plan| {
+        run_plan(plan)
+    });
+    for got in runs {
+        if got != artifact.violations {
+            return ReplayOutcome::Diverged {
+                expected: artifact.violations.clone(),
+                got,
+            };
         }
     }
+    ReplayOutcome::Reproduced
 }
 
 #[cfg(test)]
@@ -116,5 +133,21 @@ mod tests {
     #[test]
     fn malformed_json_is_an_error() {
         assert!(ReplayArtifact::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn parallel_replicas_all_reproduce() {
+        let a = artifact();
+        assert_eq!(replay_with_workers(&a, 4), ReplayOutcome::Reproduced);
+    }
+
+    #[test]
+    fn parallel_replay_detects_tampering_too() {
+        let mut a = artifact();
+        a.violations.pop();
+        assert!(matches!(
+            replay_with_workers(&a, 3),
+            ReplayOutcome::Diverged { .. }
+        ));
     }
 }

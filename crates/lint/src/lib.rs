@@ -19,7 +19,10 @@
 //! Per-site escape: `// lint:allow(<slug>)` (or `d1`…`d5`) on the finding's
 //! line or the line directly above, with a justification in the same
 //! comment. Test code (`tests/` trees, `#[cfg(test)]`/`#[test]` items) is
-//! out of scope.
+//! out of scope. Whole-crate scoping lives in
+//! [`CRATE_EXEMPTIONS`](scan::CRATE_EXEMPTIONS): the real-time
+//! `crates/live` runtime is exempt from D1 (reading the machine clock is
+//! its purpose) without per-line annotations.
 //!
 //! Run: `cargo run -p byzclock-lint -- --workspace` (exit 0 = clean,
 //! 1 = findings, 2 = usage/IO error). The workspace-clean invariant is also
@@ -32,4 +35,6 @@ pub mod scan;
 pub mod tokenizer;
 
 pub use rules::{lint_source, Finding, RuleInfo, RULES};
-pub use scan::{find_workspace_root, lint_file, lint_workspace, SCANNED_CRATES};
+pub use scan::{
+    find_workspace_root, lint_file, lint_workspace, rule_exempt, CRATE_EXEMPTIONS, SCANNED_CRATES,
+};

@@ -7,6 +7,12 @@
 //! pass. Test code is excluded twice over: `tests/` trees are never
 //! walked, and `#[cfg(test)]`/`#[test]` items inside `src/` are skipped by
 //! the analyzer.
+//!
+//! Some crates are *partially* exempt via the [`CRATE_EXEMPTIONS`] table:
+//! the real-time `crates/live` runtime legitimately reads the machine
+//! clock, so D1 is scoped out for that crate (and only that rule — the
+//! rest of the rule set still applies to it). Exemptions are keyed on the
+//! path, so they hold in both workspace and single-file mode.
 
 use std::fs;
 use std::io;
@@ -15,7 +21,7 @@ use std::path::{Path, PathBuf};
 use crate::rules::{lint_source, Finding};
 
 /// Crates whose `src/` trees the workspace pass audits.
-pub const SCANNED_CRATES: [&str; 8] = [
+pub const SCANNED_CRATES: [&str; 10] = [
     "clock",
     "core",
     "net",
@@ -24,12 +30,50 @@ pub const SCANNED_CRATES: [&str; 8] = [
     "adversary",
     "chaos",
     "harness",
+    "driver",
+    "live",
 ];
 
-/// Lints one file on disk.
+/// Path-scoped crate exemptions: `(crate dir under crates/, rule id)`.
+///
+/// `byzclock-live` is the real-time runtime — reading the machine's
+/// monotonic clock is its entire purpose, so D1 (`wall-clock`) does not
+/// apply there; the other rules (seeded RNG, ordered collections, float
+/// total-ordering, hot-path unwraps) still do. Scoping the exemption to
+/// the crate keeps its sources free of per-line `lint:allow` noise while
+/// leaving D1 enforced everywhere determinism is the contract.
+pub const CRATE_EXEMPTIONS: [(&str, &str); 1] = [("live", "d1")];
+
+/// The `crates/<name>/…` crate directory a path belongs to, if any.
+fn crate_of(path: &str) -> Option<&str> {
+    for (idx, _) in path.match_indices("crates/") {
+        if idx == 0 || path.as_bytes()[idx - 1] == b'/' {
+            return path[idx + "crates/".len()..]
+                .split('/')
+                .next()
+                .filter(|s| !s.is_empty());
+        }
+    }
+    None
+}
+
+/// True when `rule` is exempted for the crate owning `path` (by the
+/// [`CRATE_EXEMPTIONS`] table).
+pub fn rule_exempt(path: &str, rule: &str) -> bool {
+    crate_of(path).is_some_and(|krate| {
+        CRATE_EXEMPTIONS
+            .iter()
+            .any(|&(c, r)| c == krate && r == rule)
+    })
+}
+
+/// Lints one file on disk, honoring the crate-scoped exemptions (derived
+/// from the path, so `crates/live/...` files skip D1 in file mode too).
 pub fn lint_file(path: &Path) -> io::Result<Vec<Finding>> {
     let src = fs::read_to_string(path)?;
-    Ok(lint_source(&path.display().to_string(), &src))
+    let mut findings = lint_source(&path.display().to_string(), &src);
+    findings.retain(|f| !rule_exempt(&f.file, f.rule));
+    Ok(findings)
 }
 
 /// Lints every scanned crate under `root` (the workspace root). Returned
@@ -54,6 +98,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             findings.extend(lint_source(&rel, &src));
         }
     }
+    findings.retain(|f| !rule_exempt(&f.file, f.rule));
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.col).cmp(&(b.file.as_str(), b.line, b.col)));
     Ok(findings)

@@ -64,6 +64,33 @@ fn allowed_fixture_passes_clean() {
     assert!(findings.is_empty(), "expected clean, got {findings:#?}");
 }
 
+#[test]
+fn live_crate_exemption_scopes_d1_by_path() {
+    // identical source: flagged under its real (non-exempt) path...
+    let findings = lint_file(&fixture("d1_exempt_live.rs")).expect("fixture readable");
+    assert_eq!(rules_hit(&findings), vec!["d1"], "{findings:#?}");
+
+    // ...clean when the path places it in the exempted live crate
+    let src = std::fs::read_to_string(fixture("d1_exempt_live.rs")).expect("fixture readable");
+    let raw = byzclock_lint::lint_source("crates/live/src/demo.rs", &src);
+    let scoped: Vec<_> = raw
+        .into_iter()
+        .filter(|f| !byzclock_lint::rule_exempt(&f.file, f.rule))
+        .collect();
+    assert!(scoped.is_empty(), "exemption not applied: {scoped:#?}");
+
+    // the exemption covers d1 only: an unwrap in `impl World` code under
+    // the live path would still be a d5 finding
+    let d5 = "impl World { fn dispatch(&mut self) { self.x.unwrap(); } }";
+    let raw = byzclock_lint::lint_source("crates/live/src/demo.rs", d5);
+    let scoped: Vec<_> = raw
+        .into_iter()
+        .filter(|f| !byzclock_lint::rule_exempt(&f.file, f.rule))
+        .collect();
+    assert_eq!(scoped.len(), 1, "{scoped:#?}");
+    assert_eq!(scoped[0].rule, "d5");
+}
+
 /// Runs the built `byzclock-lint` binary (compiled as a dependency of this
 /// integration test) with the given arguments.
 fn run_cli(args: &[&str]) -> std::process::Output {

@@ -1,0 +1,12 @@
+//! Fixture: the same wall-clock usage that trips D1 everywhere else.
+//!
+//! The fixtures test lints this source twice — once under its real path
+//! (flagged) and once under a virtual `crates/live/` path (clean), pinning
+//! the crate-scoped exemption for the real-time runtime.
+
+use std::time::Instant;
+
+pub fn elapsed_for_real() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}

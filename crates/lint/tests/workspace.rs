@@ -38,7 +38,21 @@ fn scan_covers_the_agreed_crate_set() {
             "sim",
             "adversary",
             "chaos",
-            "harness"
+            "harness",
+            "driver",
+            "live"
         ]
     );
+}
+
+#[test]
+fn live_crate_is_scanned_but_d1_exempt() {
+    // the live runtime reads Instant by design; if the exemption table
+    // regressed, the workspace-clean test above would light up with d1
+    // findings — this pins the *reason* it stays clean.
+    use byzclock_lint::{rule_exempt, CRATE_EXEMPTIONS};
+    assert!(CRATE_EXEMPTIONS.contains(&("live", "d1")));
+    assert!(rule_exempt("crates/live/src/clock.rs", "d1"));
+    assert!(!rule_exempt("crates/live/src/clock.rs", "d5"));
+    assert!(!rule_exempt("crates/runtime/src/world.rs", "d1"));
 }

@@ -1,0 +1,95 @@
+//! Real monotonic clocks behind the protocol's clock-reading interface.
+//!
+//! The paper's model gives each processor a hardware clock it can read but
+//! not write, plus an adjustment variable `adj` it may add to (Figure 1).
+//! In the simulator the hardware clock is a modeled piecewise-linear
+//! function of simulated real time; here it is the machine's monotonic
+//! clock ([`Instant`]) measured from a cluster-wide epoch, plus a fixed
+//! per-node offset that plays the role of the initial bias. All nodes of a
+//! loopback cluster share one physical oscillator, so relative hardware
+//! drift between them is zero — the deviation the protocol has to beat is
+//! the injected initial spread plus its own estimation error.
+//!
+//! Reads are lock-protected so the cluster coordinator can sample every
+//! node's clock against one common [`Instant`] — the live analogue of the
+//! simulator's `sample_now` — while node threads adjust concurrently.
+
+use byzclock_clock::LocalTime;
+use byzclock_sim::SimDuration;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One node's logical clock: monotonic hardware time + initial offset
+/// + accumulated adjustment.
+#[derive(Debug)]
+pub struct LiveClock {
+    /// Cluster-wide epoch; `hardware = now − epoch`.
+    epoch: Instant,
+    /// Fixed initial bias, seconds (the live stand-in for a drifted start).
+    offset: f64,
+    /// The paper's `adj` variable (sum of all corrections), seconds.
+    adj: Mutex<f64>,
+}
+
+impl LiveClock {
+    /// A clock starting `offset` seconds away from cluster time zero.
+    pub fn new(epoch: Instant, offset: f64) -> Self {
+        LiveClock {
+            epoch,
+            offset,
+            adj: Mutex::new(0.0),
+        }
+    }
+
+    /// Reads the logical clock at a caller-chosen instant (lets the
+    /// coordinator sample all clocks at one common moment).
+    pub fn read_at(&self, now: Instant) -> LocalTime {
+        let hw = now.saturating_duration_since(self.epoch).as_secs_f64();
+        LocalTime::from_secs(hw + self.offset + self.adjustment())
+    }
+
+    /// Reads the logical clock now.
+    pub fn now(&self) -> LocalTime {
+        self.read_at(Instant::now())
+    }
+
+    /// Adds `delta` to the adjustment variable (an instant step, matching
+    /// the simulator's `Discipline::Step` — the discipline the paper
+    /// analyzes).
+    pub fn adjust(&self, delta: SimDuration) {
+        let mut adj = self.adj.lock().unwrap_or_else(|e| e.into_inner());
+        *adj += delta.as_secs();
+    }
+
+    /// Total accumulated adjustment, seconds.
+    pub fn adjustment(&self) -> f64 {
+        *self.adj.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_and_adjustment_are_additive() {
+        let epoch = Instant::now();
+        let clock = LiveClock::new(epoch, 0.25);
+        let at = epoch + std::time::Duration::from_millis(100);
+        let before = clock.read_at(at).as_secs();
+        assert!((before - 0.35).abs() < 1e-9);
+        clock.adjust(SimDuration::from_secs(-0.1));
+        clock.adjust(SimDuration::from_secs(0.04));
+        let after = clock.read_at(at).as_secs();
+        assert!((after - (0.35 - 0.06)).abs() < 1e-9);
+        assert!((clock.adjustment() - (-0.06)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reads_before_epoch_saturate() {
+        // a clock created "in the future" must not panic on early reads
+        let epoch = Instant::now() + std::time::Duration::from_secs(5);
+        let clock = LiveClock::new(epoch, 1.0);
+        assert!((clock.now().as_secs() - 1.0).abs() < 1e-9);
+    }
+}

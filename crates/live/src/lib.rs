@@ -1,0 +1,39 @@
+//! Real-time loopback runtime: the same sans-IO
+//! [`SyncNode`](byzclock_core::SyncNode) the deterministic simulator
+//! drives, running over real UDP sockets on localhost with real monotonic
+//! clocks.
+//!
+//! This crate is the second implementor of the
+//! [`byzclock-driver`](byzclock_driver) boundary. Where the sim driver
+//! executes protocol outputs against a modeled world (event queue, drifting
+//! piecewise-linear clocks, faulty network), this one executes them for
+//! real: sends become UDP datagrams carrying the shared length-prefixed
+//! wire frames, timers become deadline entries in a per-node thread, and
+//! clock reads hit the machine's monotonic clock (plus an injected initial
+//! offset and the protocol's own accumulated adjustment).
+//!
+//! Because both hosts funnel every effect through
+//! [`byzclock_driver::drive`] / [`byzclock_driver::apply_outputs`], the
+//! protocol core cannot tell which world it lives in — the property the
+//! driver refactor exists to enforce. The deterministic guarantees (chaos
+//! campaigns, golden replays, loom schedules) attach to the sim driver
+//! only; this runtime is inherently nondeterministic and exists to
+//! demonstrate the very same state machine converging on real sockets
+//! inside the paper's Theorem 5 envelope.
+//!
+//! ```no_run
+//! use byzclock_live::{run, LiveConfig};
+//!
+//! let report = run(LiveConfig::quick(4, 1)).unwrap();
+//! println!("{}", report.render());
+//! assert!(report.converged());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod runtime;
+
+pub use clock::LiveClock;
+pub use runtime::{run, DeviationSample, LiveConfig, LiveError, LiveReport, NodeStats};

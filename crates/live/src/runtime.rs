@@ -1,0 +1,515 @@
+//! The threaded UDP loopback cluster.
+//!
+//! One OS thread per node. Each thread owns a UDP socket bound to
+//! `127.0.0.1:0` and multiplexes two event sources through a single
+//! receive-with-timeout loop:
+//!
+//! * **datagrams** — decoded with the shared length-prefixed framing
+//!   ([`byzclock_driver::frame`]) into [`Input::Message`]s;
+//! * **alarms** — a small in-thread deadline list over *local* clock
+//!   readings, fired as [`Input::TimerFired`] when the node's logical
+//!   clock passes the target (so a step adjustment moves pending alarms
+//!   exactly as the simulator's exact local→real conversion does).
+//!
+//! Every effect flows through [`byzclock_driver::drive`], i.e. the very
+//! same `Output` → capability mapping the deterministic sim driver uses —
+//! that shared path is what makes the simulator's behavior a model of this
+//! runtime rather than a sibling implementation.
+//!
+//! A coordinator thread collects [`RoundSummary`]s over an mpsc channel
+//! and periodically samples every node's clock at one common [`Instant`]
+//! to measure observed deviation — the live analogue of the simulator's
+//! `sample_now`.
+
+use byzclock_core::{Input, NetworkModel, RoundSummary, SyncNode, TheoremBounds, TimerKind};
+use byzclock_driver::frame::{self, Envelope};
+use byzclock_driver::{drive, ClockSource, Driver, TimerControl, Transport};
+use byzclock_harness::table::{fmt_secs, Table};
+use byzclock_sim::{ProcId, SimDuration};
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use crate::clock::LiveClock;
+
+/// Longest a node thread blocks in `recv_from` before re-checking the
+/// stop flag and its alarm list.
+const POLL_CAP: Duration = Duration::from_millis(25);
+
+/// Configuration of a loopback cluster run.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveConfig {
+    /// Number of nodes `n`.
+    pub nodes: usize,
+    /// Fault bound `f` the parameters are derived for (no live node is
+    /// actually faulty; this sizes quorums and bounds).
+    pub faults: usize,
+    /// The model constants to derive protocol parameters from. `delta`
+    /// should generously over-bound loopback latency.
+    pub model: NetworkModel,
+    /// Sync intervals per Δ (Theorem 5 requires `k ≥ 5`).
+    pub k: u32,
+    /// Half-width of the deterministic initial clock spread, seconds:
+    /// node `i` starts at `(i/(n−1) − 1/2) · 2 · spread`.
+    pub spread: f64,
+    /// Stop once every node has completed this many rounds.
+    pub min_rounds: u64,
+    /// Hard wall-clock cap on the whole run.
+    pub deadline: Duration,
+    /// Nonce-stream seed (per-node streams are derived from it).
+    pub seed: u64,
+}
+
+impl LiveConfig {
+    /// A configuration tuned for a quick interactive demo / smoke test:
+    /// `T = Δ/K = 0.5 s`, so a round completes roughly every half second,
+    /// with `δ = 10 ms` (five orders of magnitude above loopback RTT).
+    pub fn quick(nodes: usize, faults: usize) -> Self {
+        LiveConfig {
+            nodes,
+            faults,
+            model: NetworkModel {
+                delta: SimDuration::from_millis(10.0),
+                rho: 1e-4,
+                lambda: NetworkModel::natural_lambda(SimDuration::from_millis(10.0), 1e-4),
+                big_delta: SimDuration::from_secs(4.0),
+            },
+            k: 8,
+            spread: 0.05,
+            min_rounds: 3,
+            deadline: Duration::from_secs(30),
+            seed: 42,
+        }
+    }
+}
+
+/// What one node reported over the event channel.
+enum LiveEvent {
+    Round { node: ProcId, summary: RoundSummary },
+    Adjustment { node: ProcId, delta: f64 },
+}
+
+/// Per-node statistics accumulated by the coordinator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeStats {
+    /// Rounds completed.
+    pub rounds: u64,
+    /// Clock adjustments applied.
+    pub adjustments: u64,
+    /// Sum of `|delta|` over all adjustments, seconds.
+    pub total_abs_adjustment: f64,
+    /// The last round's adjustment, seconds.
+    pub last_adjustment: f64,
+    /// Responders in the last completed round.
+    pub last_responders: usize,
+}
+
+/// One deviation sample: max pairwise clock difference at a common instant.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviationSample {
+    /// Seconds since the cluster epoch.
+    pub at: f64,
+    /// Max pairwise deviation across all nodes, seconds.
+    pub deviation: f64,
+}
+
+/// The outcome of a loopback run.
+#[derive(Debug)]
+pub struct LiveReport {
+    /// The configuration the cluster ran with.
+    pub config: LiveConfig,
+    /// The Theorem 5 guarantees for the derived parameters.
+    pub bounds: TheoremBounds,
+    /// Per-node statistics.
+    pub stats: Vec<NodeStats>,
+    /// Deviation before any node started.
+    pub initial_deviation: f64,
+    /// Deviation at shutdown.
+    pub final_deviation: f64,
+    /// Largest deviation observed after every node had completed a round.
+    pub max_deviation_synced: f64,
+    /// Periodic deviation samples over the whole run.
+    pub samples: Vec<DeviationSample>,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Whether every node reached `min_rounds` before the deadline.
+    pub completed: bool,
+}
+
+impl LiveReport {
+    /// True when the cluster finished converged: every node completed its
+    /// rounds and the final observed deviation is inside the Theorem 5
+    /// envelope `γ`.
+    pub fn converged(&self) -> bool {
+        self.completed && self.final_deviation <= self.bounds.gamma
+    }
+
+    /// Renders the human-readable report tables.
+    pub fn render(&self) -> String {
+        let mut per_node = Table::new(
+            format!(
+                "live loopback: {} nodes (f = {}), {} rounds each",
+                self.config.nodes, self.config.faults, self.config.min_rounds
+            ),
+            &[
+                "node",
+                "rounds",
+                "adjustments",
+                "sum |adj|",
+                "last adj",
+                "last responders",
+            ],
+        );
+        for (i, s) in self.stats.iter().enumerate() {
+            per_node.row_owned(vec![
+                format!("p{i}"),
+                s.rounds.to_string(),
+                s.adjustments.to_string(),
+                fmt_secs(s.total_abs_adjustment),
+                fmt_secs(s.last_adjustment),
+                s.last_responders.to_string(),
+            ]);
+        }
+        let mut deviation = Table::new(
+            "observed deviation vs Theorem 5 envelope",
+            &["quantity", "seconds"],
+        );
+        deviation
+            .row_owned(vec![
+                "initial spread".into(),
+                fmt_secs(self.initial_deviation),
+            ])
+            .row_owned(vec![
+                "max after all synced".into(),
+                fmt_secs(self.max_deviation_synced),
+            ])
+            .row_owned(vec!["final".into(), fmt_secs(self.final_deviation)])
+            .row_owned(vec![
+                "gamma (Theorem 5(i))".into(),
+                fmt_secs(self.bounds.gamma),
+            ])
+            .row_owned(vec![
+                "psi discontinuity bound".into(),
+                fmt_secs(self.bounds.discontinuity),
+            ]);
+        format!(
+            "{}\n{}\nT = {} s, K = {}, elapsed {:.2} s, {}\n",
+            per_node.render(),
+            deviation.render(),
+            self.bounds.t.as_secs(),
+            self.bounds.k,
+            self.elapsed.as_secs_f64(),
+            if self.converged() {
+                "converged within gamma"
+            } else if self.completed {
+                "completed but OUTSIDE gamma"
+            } else {
+                "DID NOT complete (deadline hit)"
+            }
+        )
+    }
+}
+
+/// Errors starting or running a cluster.
+#[derive(Debug)]
+pub enum LiveError {
+    /// Socket setup failed.
+    Io(io::Error),
+    /// The model/K combination admits no valid parameters.
+    Bounds(byzclock_core::BoundsError),
+    /// Config asks for fewer than two nodes.
+    TooFewNodes(usize),
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::Io(e) => write!(f, "socket setup failed: {e}"),
+            LiveError::Bounds(e) => write!(f, "cannot derive parameters: {e}"),
+            LiveError::TooFewNodes(n) => write!(f, "need at least 2 nodes, got {n}"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+impl From<io::Error> for LiveError {
+    fn from(e: io::Error) -> Self {
+        LiveError::Io(e)
+    }
+}
+
+impl From<byzclock_core::BoundsError> for LiveError {
+    fn from(e: byzclock_core::BoundsError) -> Self {
+        LiveError::Bounds(e)
+    }
+}
+
+/// A pending local-time alarm.
+struct Alarm {
+    target: byzclock_clock::LocalTime,
+    seq: u64,
+    kind: TimerKind,
+}
+
+/// One node's half of the driver boundary: real sockets, real clock,
+/// in-thread deadline list.
+struct NodeIo {
+    id: ProcId,
+    socket: UdpSocket,
+    peers: Arc<Vec<SocketAddr>>,
+    clock: Arc<LiveClock>,
+    alarms: Vec<Alarm>,
+    next_seq: u64,
+    events: mpsc::Sender<LiveEvent>,
+}
+
+impl Transport for NodeIo {
+    fn send(&mut self, from: ProcId, to: ProcId, msg: byzclock_core::WireMessage) {
+        if to.index() >= self.peers.len() || to == self.id {
+            return;
+        }
+        let body = frame::encode(&Envelope { from, msg });
+        // UDP send failures are indistinguishable from in-flight loss; the
+        // protocol tolerates loss, so drop silently.
+        let _ = self.socket.send_to(&body, self.peers[to.index()]);
+    }
+}
+
+impl TimerControl for NodeIo {
+    fn set_timer(&mut self, _node: ProcId, after: SimDuration, kind: TimerKind) {
+        let target = self.clock.now() + after;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.alarms.push(Alarm { target, seq, kind });
+    }
+
+    fn cancel_all(&mut self, _node: ProcId) {
+        self.alarms.clear();
+    }
+}
+
+impl ClockSource for NodeIo {
+    fn local_now(&mut self, _node: ProcId) -> byzclock_clock::LocalTime {
+        self.clock.now()
+    }
+
+    fn adjust_clock(&mut self, node: ProcId, delta: SimDuration) {
+        self.clock.adjust(delta);
+        let _ = self.events.send(LiveEvent::Adjustment {
+            node,
+            delta: delta.as_secs(),
+        });
+    }
+}
+
+impl Driver for NodeIo {
+    fn round_completed(&mut self, node: ProcId, summary: &RoundSummary) {
+        let _ = self.events.send(LiveEvent::Round {
+            node,
+            summary: *summary,
+        });
+    }
+}
+
+impl NodeIo {
+    /// Pops the due alarm with the earliest `(target, seq)`, if any.
+    fn pop_due(&mut self, now: byzclock_clock::LocalTime) -> Option<TimerKind> {
+        let due = self
+            .alarms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.target <= now)
+            .min_by_key(|(_, a)| (a.target, a.seq))
+            .map(|(i, _)| i)?;
+        Some(self.alarms.swap_remove(due).kind)
+    }
+
+    /// Real seconds until the earliest alarm (local units map 1:1 to real
+    /// ones here — the hardware rate is the host oscillator's).
+    fn until_next_alarm(&self, now: byzclock_clock::LocalTime) -> Option<Duration> {
+        let next = self.alarms.iter().map(|a| a.target).min()?;
+        Some(Duration::from_secs_f64((next - now).as_secs().max(0.0)))
+    }
+}
+
+/// The body of one node thread.
+fn run_node(mut io: NodeIo, mut node: SyncNode, stop: Arc<AtomicBool>) {
+    let mut scratch = Vec::new();
+    let start = Input::Start {
+        local_now: io.clock.now(),
+    };
+    drive(&mut io, &mut node, start, &mut scratch);
+    let mut buf = [0u8; frame::MAX_PAYLOAD + 4];
+    while !stop.load(Ordering::Relaxed) {
+        // fire alarms one at a time: a fired timer may arm or cancel others
+        let now = io.clock.now();
+        if let Some(kind) = io.pop_due(now) {
+            let input = Input::TimerFired {
+                timer: kind,
+                local_now: io.clock.now(),
+            };
+            drive(&mut io, &mut node, input, &mut scratch);
+            continue;
+        }
+        let wait = io
+            .until_next_alarm(now)
+            .unwrap_or(POLL_CAP)
+            .clamp(Duration::from_millis(1), POLL_CAP);
+        if io.socket.set_read_timeout(Some(wait)).is_err() {
+            return;
+        }
+        match io.socket.recv_from(&mut buf) {
+            Ok((len, _)) => {
+                // garbage datagrams are dropped, like line noise on a link
+                if let Ok((envelope, _)) = frame::decode(&buf[..len]) {
+                    let input = Input::Message {
+                        from: envelope.from,
+                        msg: envelope.msg,
+                        local_now: io.clock.now(),
+                    };
+                    drive(&mut io, &mut node, input, &mut scratch);
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Runs a loopback cluster to completion and reports what it observed.
+///
+/// # Errors
+///
+/// [`LiveError`] if the config is invalid or socket setup fails; a run
+/// that merely fails to converge still returns a report (check
+/// [`LiveReport::completed`] / [`LiveReport::converged`]).
+pub fn run(config: LiveConfig) -> Result<LiveReport, LiveError> {
+    if config.nodes < 2 {
+        return Err(LiveError::TooFewNodes(config.nodes));
+    }
+    let derived = config.model.derive(config.nodes, config.faults, config.k)?;
+    let n = config.nodes;
+
+    let mut sockets = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        addrs.push(socket.local_addr()?);
+        sockets.push(socket);
+    }
+    let addrs = Arc::new(addrs);
+
+    let epoch = Instant::now();
+    let clocks: Vec<Arc<LiveClock>> = (0..n)
+        .map(|i| {
+            let frac = if n > 1 {
+                i as f64 / (n - 1) as f64
+            } else {
+                0.5
+            };
+            Arc::new(LiveClock::new(epoch, (frac - 0.5) * 2.0 * config.spread))
+        })
+        .collect();
+
+    let sample_deviation = |clocks: &[Arc<LiveClock>]| {
+        let at = Instant::now();
+        let reads: Vec<f64> = clocks.iter().map(|c| c.read_at(at).as_secs()).collect();
+        let max = reads.iter().cloned().fold(f64::MIN, f64::max);
+        let min = reads.iter().cloned().fold(f64::MAX, f64::min);
+        (at.saturating_duration_since(epoch).as_secs_f64(), max - min)
+    };
+    let (_, initial_deviation) = sample_deviation(&clocks);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel();
+    let mut handles = Vec::with_capacity(n);
+    for (i, socket) in sockets.into_iter().enumerate() {
+        let io = NodeIo {
+            id: ProcId(i as u32),
+            socket,
+            peers: Arc::clone(&addrs),
+            clock: Arc::clone(&clocks[i]),
+            alarms: Vec::new(),
+            next_seq: 0,
+            events: tx.clone(),
+        };
+        let node = SyncNode::new(ProcId(i as u32), derived.params).with_nonce_seed(
+            config
+                .seed
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || run_node(io, node, stop)));
+    }
+    drop(tx);
+
+    let mut stats = vec![NodeStats::default(); n];
+    let mut samples = Vec::new();
+    let mut max_deviation_synced: f64 = 0.0;
+    let deadline = epoch + config.deadline;
+    let completed = loop {
+        if stats.iter().all(|s| s.rounds >= config.min_rounds) {
+            break true;
+        }
+        if Instant::now() >= deadline {
+            break false;
+        }
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(LiveEvent::Round { node, summary }) => {
+                let s = &mut stats[node.index()];
+                s.rounds += 1;
+                s.last_adjustment = summary.adjustment;
+                s.last_responders = summary.responders;
+            }
+            Ok(LiveEvent::Adjustment { node, delta }) => {
+                let s = &mut stats[node.index()];
+                s.adjustments += 1;
+                s.total_abs_adjustment += delta.abs();
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break false,
+        }
+        let (at, deviation) = sample_deviation(&clocks);
+        samples.push(DeviationSample { at, deviation });
+        if stats.iter().all(|s| s.rounds >= 1) {
+            max_deviation_synced = max_deviation_synced.max(deviation);
+        }
+    };
+
+    stop.store(true, Ordering::Relaxed);
+    for handle in handles {
+        let _ = handle.join();
+    }
+    // drain events that raced the stop decision
+    for event in rx.try_iter() {
+        if let LiveEvent::Round { node, summary } = event {
+            let s = &mut stats[node.index()];
+            s.rounds += 1;
+            s.last_adjustment = summary.adjustment;
+            s.last_responders = summary.responders;
+        }
+    }
+    let (at, final_deviation) = sample_deviation(&clocks);
+    samples.push(DeviationSample {
+        at,
+        deviation: final_deviation,
+    });
+
+    Ok(LiveReport {
+        config,
+        bounds: derived.bounds,
+        stats,
+        initial_deviation,
+        final_deviation,
+        max_deviation_synced,
+        samples,
+        elapsed: Instant::now().saturating_duration_since(epoch),
+        completed,
+    })
+}

@@ -40,9 +40,11 @@
 pub mod builder;
 pub mod events;
 pub mod observer;
+pub mod sim_driver;
 pub mod world;
 
 pub use builder::{BuildError, Discipline, DriftSpec, InitialBias, LinkOutage, WorldBuilder};
+pub use byzclock_driver::{ClockSource, Driver, TimerControl, Transport};
 pub use events::SimEvent;
 pub use observer::{Observer, WorldSample};
 pub use world::World;

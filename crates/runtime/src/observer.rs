@@ -8,6 +8,7 @@
 //! is the set over which the paper's deviation guarantee is stated.
 
 use byzclock_clock::Bias;
+use byzclock_core::RoundSummary;
 use byzclock_sim::{ProcId, RealTime};
 use serde::{Deserialize, Serialize};
 
@@ -98,6 +99,14 @@ pub trait Observer {
     fn on_restart(&mut self, node: ProcId, tau: RealTime) {
         let _ = (node, tau);
     }
+
+    /// `node` completed a sync round. Summaries arrive in the exact order
+    /// the driver executes them, so the sequence across all nodes is a
+    /// deterministic function of the world seed — the golden driver
+    /// equivalence test records it bit for bit.
+    fn on_round(&mut self, node: ProcId, summary: &RoundSummary, tau: RealTime) {
+        let _ = (node, summary, tau);
+    }
 }
 
 #[cfg(test)]
@@ -160,5 +169,15 @@ mod tests {
         o.on_corrupt(ProcId(0), RealTime::ZERO);
         o.on_release(ProcId(0), RealTime::ZERO);
         o.on_restart(ProcId(0), RealTime::ZERO);
+        o.on_round(
+            ProcId(0),
+            &byzclock_core::RoundSummary {
+                round: 1,
+                adjustment: 0.0,
+                responders: 3,
+                timeouts: 0,
+            },
+            RealTime::ZERO,
+        );
     }
 }

@@ -1,27 +1,21 @@
-//! The simulation world: event loop and substrate glue.
+//! The simulation world: event-loop orchestrator over the sim driver.
 //!
 //! The world owns one [`Engine`] on the real-time axis and, per processor,
-//! a [`LogicalClock`], a drift model and a [`SyncNode`]. It executes the
-//! node's [`Output`]s (sends through the [`Network`], local-time alarms
-//! converted exactly to real-time events, clock adjustments applied to
-//! `adj_p`), routes traffic addressed to corrupted processors through the
-//! [`Adversary`], and notifies [`Observer`]s.
+//! a [`LogicalClock`], a drift model and a [`SyncNode`]. Node effects are
+//! executed through the [`byzclock-driver`](byzclock_driver) boundary —
+//! the deterministic implementations of transport, timers and clocks live
+//! in [`crate::sim_driver`] — while this module orchestrates: it pops and
+//! dispatches events, routes traffic addressed to corrupted processors
+//! through the [`Adversary`], applies corruption/release/restart/drift
+//! transitions, and notifies [`Observer`]s.
 //!
-//! ## Local alarms under drift
-//!
-//! `SetTimer { after }` means *local* time units. The world computes the
-//! exact real time at which the node's logical clock reaches
-//! `local_now + after` using the current hardware rate, and whenever a
-//! drift model changes the rate it cancels and recomputes every pending
-//! alarm of that node. Alarms carry a per-node generation number;
-//! corruption bumps the generation, atomically cancelling all pending
-//! alarms (the adversary may have destroyed the "thread" that would
-//! re-arm them — the paper's recovery discussion), and
-//! [`Input::Start`] on release re-arms everything.
+//! See `crate::sim_driver` for how local-time alarms are converted exactly
+//! to real-time events under drift and slew.
 
 use byzclock_adversary::{Adversary, AttackReply, ClockSabotage};
 use byzclock_clock::{DriftModel, LocalTime, LogicalClock};
 use byzclock_core::{Input, Output, SyncNode, TimerKind, WireMessage};
+use byzclock_driver::TimerControl;
 use byzclock_net::Network;
 use byzclock_sim::queue::EventId;
 use byzclock_sim::{DetRng, Engine, ProcId, RealTime, SimDuration, TraceBuffer, TraceLevel};
@@ -30,10 +24,11 @@ use crate::builder::Discipline;
 use crate::events::SimEvent;
 use crate::observer::{Observer, WorldSample};
 
+/// A pending local-time alarm as tracked by the sim driver's index.
 #[derive(Debug, Clone, Copy)]
-struct PendingTimer {
-    kind: TimerKind,
-    target_local: LocalTime,
+pub(crate) struct PendingTimer {
+    pub(crate) kind: TimerKind,
+    pub(crate) target_local: LocalTime,
 }
 
 pub(crate) struct NodeSlot {
@@ -42,7 +37,7 @@ pub(crate) struct NodeSlot {
     pub(crate) drift: Box<dyn DriftModel>,
     pub(crate) drift_rng: DetRng,
     pub(crate) corruption_depth: u32,
-    timer_gen: u64,
+    pub(crate) timer_gen: u64,
     /// Pending alarms indexed by their engine [`EventId`]: O(log n) exact
     /// lookup/cancel instead of a linear scan, and — unlike a
     /// `(kind, target)` match — unambiguous when two alarms coincide.
@@ -50,7 +45,7 @@ pub(crate) struct NodeSlot {
     /// id-ordered: std hash maps iterate in per-process random order, which
     /// would leak into event scheduling order and break cross-process
     /// replay determinism.
-    pending: std::collections::BTreeMap<EventId, PendingTimer>,
+    pub(crate) pending: std::collections::BTreeMap<EventId, PendingTimer>,
 }
 
 impl NodeSlot {
@@ -258,8 +253,7 @@ impl World {
             return;
         }
         // Crash: all pending alarms die with the process.
-        self.nodes[idx].timer_gen += 1;
-        self.cancel_pending_timers(idx);
+        self.cancel_all(node);
         self.trace
             .record(tau, TraceLevel::Info, "node", format!("restart {node}"));
         self.notify(|o| o.on_restart(node, tau));
@@ -278,20 +272,17 @@ impl World {
         self.handle_and_apply(node, Input::Start { local_now });
     }
 
-    /// Cancels (engine + index) every pending alarm of node `idx`.
-    fn cancel_pending_timers(&mut self, idx: usize) {
-        for engine_id in std::mem::take(&mut self.nodes[idx].pending).into_keys() {
-            self.engine.cancel(engine_id);
-        }
-    }
-
     /// Feeds one input to `node` through the reusable scratch buffer and
-    /// executes the resulting outputs.
+    /// executes the resulting outputs through the driver boundary.
+    ///
+    /// (The node lives *inside* the driver state, so this is the
+    /// split-borrow variant of [`byzclock_driver::drive`]: collect into
+    /// the world-owned scratch first, then apply.)
     fn handle_and_apply(&mut self, node: ProcId, input: Input) {
         let mut out = std::mem::take(&mut self.scratch);
         out.clear();
         self.nodes[node.index()].node.handle_into(input, &mut out);
-        self.apply_outputs(node, &out);
+        byzclock_driver::apply_outputs(self, node, &out);
         out.clear();
         self.scratch = out;
     }
@@ -419,43 +410,6 @@ impl World {
         self.reschedule_pending_timers(tau, node);
     }
 
-    fn reschedule_pending_timers(&mut self, tau: RealTime, node: ProcId) {
-        let idx = node.index();
-        let gen = self.nodes[idx].timer_gen;
-        // BTreeMap iteration is id-ordered, so the re-armed events are
-        // assigned fresh ids in a deterministic order (replay safety).
-        let pending = std::mem::take(&mut self.nodes[idx].pending);
-        for engine_id in pending.keys() {
-            self.engine.cancel(*engine_id);
-        }
-        for timer in pending.into_values() {
-            let real_at = self.real_time_for_local_target(node, tau, timer.target_local);
-            let engine_id =
-                self.engine
-                    .schedule_at_with(real_at.max(tau), |id| SimEvent::NodeTimer {
-                        node,
-                        id,
-                        generation: gen,
-                        kind: timer.kind,
-                        target_local: timer.target_local,
-                    });
-            self.nodes[idx].pending.insert(engine_id, timer);
-        }
-    }
-
-    /// Exact real time at which `node`'s *logical* clock reaches `target`
-    /// (slew-aware: the logical clock is piecewise linear).
-    fn real_time_for_local_target(
-        &self,
-        node: ProcId,
-        tau: RealTime,
-        target: LocalTime,
-    ) -> RealTime {
-        self.nodes[node.index()]
-            .clock
-            .real_time_reaching_logical(tau, target)
-    }
-
     fn corrupt(&mut self, tau: RealTime, node: ProcId) {
         let idx = node.index();
         self.nodes[idx].corruption_depth += 1;
@@ -463,8 +417,7 @@ impl World {
             return; // overlapping episodes: already under control
         }
         // Cancel all pending alarms: the adversary wipes protocol state.
-        self.nodes[idx].timer_gen += 1;
-        self.cancel_pending_timers(idx);
+        self.cancel_all(node);
         match self.adversary.on_corrupt(node, &mut self.adv_rng) {
             ClockSabotage::None => {
                 self.trace.record(
@@ -519,68 +472,7 @@ impl World {
         }
     }
 
-    fn apply_outputs(&mut self, node: ProcId, outputs: &[Output]) {
-        let tau = self.now();
-        for &output in outputs {
-            match output {
-                Output::Send { to, msg } => {
-                    // send_times yields zero (lost), one, or — under the
-                    // chaos fault profile — several delivery instants.
-                    for at in self.network.send_times(node, to, tau, &mut self.net_rng) {
-                        self.engine.schedule_at(
-                            at,
-                            SimEvent::Deliver {
-                                to,
-                                from: node,
-                                msg,
-                            },
-                        );
-                    }
-                }
-                Output::SetTimer { after, kind } => {
-                    self.schedule_local_timer(node, after, kind);
-                }
-                Output::AdjustClock { delta } => {
-                    match self.discipline {
-                        Discipline::Step => {
-                            self.nodes[node.index()].clock.adjust(delta);
-                        }
-                        Discipline::Slew { max_rate } => {
-                            self.nodes[node.index()].clock.slew(tau, delta, max_rate);
-                            // the logical trajectory changed slope: pending
-                            // alarms must be recomputed (slew-aware)
-                            self.reschedule_pending_timers(tau, node);
-                        }
-                    }
-                    let good = self.adversary.good_at(node, tau, self.big_delta);
-                    self.notify(|o| o.on_adjustment(node, delta.as_secs(), tau, good));
-                }
-                Output::RoundCompleted(_) => {}
-            }
-        }
-    }
-
-    fn schedule_local_timer(&mut self, node: ProcId, after: SimDuration, kind: TimerKind) {
-        let tau = self.now();
-        let idx = node.index();
-        let target_local = self.nodes[idx].clock.read(tau) + after;
-        let real_at = self.real_time_for_local_target(node, tau, target_local);
-        let gen = self.nodes[idx].timer_gen;
-        let engine_id = self
-            .engine
-            .schedule_at_with(real_at.max(tau), |id| SimEvent::NodeTimer {
-                node,
-                id,
-                generation: gen,
-                kind,
-                target_local,
-            });
-        self.nodes[idx]
-            .pending
-            .insert(engine_id, PendingTimer { kind, target_local });
-    }
-
-    fn notify(&mut self, mut f: impl FnMut(&mut Box<dyn Observer>)) {
+    pub(crate) fn notify(&mut self, mut f: impl FnMut(&mut Box<dyn Observer>)) {
         let mut observers = std::mem::take(&mut self.observers);
         for o in &mut observers {
             f(o);

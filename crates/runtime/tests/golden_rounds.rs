@@ -1,0 +1,143 @@
+//! Golden driver-equivalence regression (driver-refactor satellite).
+//!
+//! The committed golden file was recorded from the pre-refactor `World`
+//! dispatch loop (the monolithic event loop that fused timer scheduling,
+//! transport and clock reading). After the driver decomposition, a
+//! same-seed run through the sim driver must reproduce the exact
+//! `RoundSummary` sequence — every round completion of every node, in
+//! execution order, with bit-identical adjustments and timestamps — plus
+//! final biases and the engine/network counters.
+//!
+//! Floats are stored as `f64::to_bits` hex so the comparison is exact and
+//! immune to formatting/round-trip drift.
+//!
+//! Regenerate (only when a change is *supposed* to alter behavior, with a
+//! CHANGELOG note): `BYZCLOCK_GOLDEN_REGEN=1 cargo test -p byzclock-runtime --test golden_rounds`
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use byzclock_adversary::{Adversary, ConstantOffsetStrategy, CorruptionSchedule};
+use byzclock_core::RoundSummary;
+use byzclock_net::FaultProfile;
+use byzclock_runtime::{DriftSpec, Observer, WorldBuilder};
+use byzclock_sim::{ProcId, RealTime, SimDuration};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("rounds_seed7.golden")
+}
+
+#[derive(Default)]
+struct Recorder {
+    lines: Vec<String>,
+}
+
+struct Probe(Rc<RefCell<Recorder>>);
+
+impl Observer for Probe {
+    fn on_round(&mut self, node: ProcId, summary: &RoundSummary, tau: RealTime) {
+        self.0.borrow_mut().lines.push(format!(
+            "round {node} {} {:016x} {} {} {:016x}",
+            summary.round,
+            summary.adjustment.to_bits(),
+            summary.responders,
+            summary.timeouts,
+            tau.as_secs().to_bits(),
+        ));
+    }
+}
+
+/// The recorded scenario: 5 nodes, drifting clocks (random walk), message
+/// duplication/reordering, one corruption episode with forged pongs — it
+/// exercises every capability the driver boundary carries (transport with
+/// fault injection, timer cancel/re-arm on corruption and drift change,
+/// clock reads and adjustments).
+fn record() -> String {
+    let schedule = CorruptionSchedule::single(ProcId(2), RealTime::from_secs(20.0), d(5.0));
+    let adversary = Adversary::new(schedule, Box::new(ConstantOffsetStrategy::new(10.0)));
+    let mut world = WorldBuilder::new(5, 1)
+        .seed(7)
+        .delta(SimDuration::from_millis(10.0))
+        .big_delta(d(40.0))
+        .initial_bias_spread(0.5)
+        .drift(DriftSpec::RandomWalk {
+            step_std: 1e-6,
+            interval: d(5.0),
+        })
+        .net_faults(FaultProfile {
+            duplicate_probability: 0.2,
+            reorder_probability: 0.2,
+        })
+        .adversary(adversary)
+        .build()
+        .unwrap();
+    let recorder = Rc::new(RefCell::new(Recorder::default()));
+    world.add_observer(Box::new(Probe(Rc::clone(&recorder))));
+    world.run_until(RealTime::from_secs(120.0));
+
+    let mut out = String::new();
+    out.push_str("# golden RoundSummary sequence: seed 7, n=5, f=1 (see test header)\n");
+    for line in &recorder.borrow().lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    let sample = world.sample_now();
+    for (i, b) in sample.biases.iter().enumerate() {
+        let _ = writeln!(out, "bias p{i} {:016x}", b.as_secs().to_bits());
+    }
+    let _ = writeln!(out, "events {}", world.events_processed());
+    let _ = writeln!(out, "delivered {}", world.network_stats().delivered);
+    out
+}
+
+fn d(s: f64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+#[test]
+fn sim_driver_reproduces_prerefactor_round_sequence() {
+    let got = record();
+    let path = golden_path();
+    if std::env::var("BYZCLOCK_GOLDEN_REGEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden file {}: {e}", path.display()));
+    if got != want {
+        let first_diff = got
+            .lines()
+            .zip(want.lines())
+            .position(|(g, w)| g != w)
+            .map(|i| {
+                format!(
+                    "first difference at line {}:\n  golden: {}\n  got:    {}",
+                    i + 1,
+                    want.lines().nth(i).unwrap_or("<missing>"),
+                    got.lines().nth(i).unwrap_or("<missing>")
+                )
+            })
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: golden {} vs got {}",
+                    want.lines().count(),
+                    got.lines().count()
+                )
+            });
+        panic!(
+            "driver refactor changed the same-seed round sequence (must be bit-identical).\n{first_diff}"
+        );
+    }
+}
+
+#[test]
+fn recording_is_deterministic() {
+    assert_eq!(record(), record());
+}

@@ -17,7 +17,9 @@
 //! | [`net`] | topologies, bounded-delay models, authenticated links |
 //! | [`adversary`] | f-limited mobile Byzantine adversary and attack strategies |
 //! | [`core`] | **the paper's protocol**: `SyncNode`, convergence functions, Theorem 5 bounds |
-//! | [`runtime`] | the `World` binding everything, with observer hooks |
+//! | [`driver`] | the driver boundary: timer/transport/clock capabilities any host provides |
+//! | [`runtime`] | the `World` binding everything, with observer hooks (the sim driver) |
+//! | [`live`] | real-time UDP loopback runtime (the live driver); `byzclock live` CLI |
 //! | [`harness`] | metrics, experiment suite E1–E21, tables/series |
 //!
 //! ## Quickstart
@@ -64,6 +66,13 @@ pub use byzclock_core as core;
 
 /// The simulation world runtime.
 pub use byzclock_runtime as runtime;
+
+/// The driver boundary (timer/transport/clock capabilities) shared by the
+/// simulator and the real-time runtime.
+pub use byzclock_driver as driver;
+
+/// The real-time UDP loopback runtime.
+pub use byzclock_live as live;
 
 /// Metrics and the experiment suite.
 pub use byzclock_harness as harness;
