@@ -10,7 +10,9 @@
 //! bit-identical before any number is reported. The JSON report records
 //! wall time, total engine events, events/sec for both modes, and the
 //! parallel speedup. `--smoke` shrinks the horizon for CI; `--out` writes
-//! the report (default `BENCH_e2e.json` in the current directory).
+//! the report (default `BENCH_e2e.json` in the current directory); a
+//! timestamped summary line is also appended to the shared history file
+//! (`--history`, default `BENCH_history.jsonl`).
 //!
 //! Speedup is only meaningful on a multi-core machine — the report records
 //! `cores` so a 1-core CI runner's ~1.0x is not mistaken for a regression.
@@ -19,6 +21,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use byzclock_adversary::RandomReplyStrategy;
+use byzclock_bench::history;
 use byzclock_harness::parallel::{default_workers, run_seeds_with_workers};
 use byzclock_harness::scenario::Scenario;
 use byzclock_sim::RealTime;
@@ -47,6 +50,19 @@ struct BenchConfig {
 struct ModeStats {
     wall_secs: f64,
     events_per_sec: f64,
+}
+
+/// The compact line appended to `BENCH_history.jsonl` — enough to chart
+/// trends without replaying full reports.
+#[derive(Serialize)]
+struct HistorySummary {
+    smoke: bool,
+    seeds: usize,
+    workers: usize,
+    total_events: u64,
+    sequential_events_per_sec: f64,
+    parallel_events_per_sec: f64,
+    speedup: f64,
 }
 
 #[derive(Serialize)]
@@ -84,6 +100,7 @@ fn main() -> ExitCode {
     let mut seeds = 4u64;
     let mut workers = default_workers();
     let mut out = String::from("BENCH_e2e.json");
+    let mut history_path = String::from("BENCH_history.jsonl");
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -99,6 +116,10 @@ fn main() -> ExitCode {
             "--out" => match it.next() {
                 Some(v) => out = v.clone(),
                 None => return usage("--out needs a path"),
+            },
+            "--history" => match it.next() {
+                Some(v) => history_path = v.clone(),
+                None => return usage("--history needs a path"),
             },
             other => return usage(&format!("unknown argument {other}")),
         }
@@ -169,11 +190,26 @@ fn main() -> ExitCode {
          parallel {par_eps:.0} ev/s ({par_wall:.2}s) | speedup {speedup:.2}x on {cores} core(s)"
     );
     println!("report written to {out}");
+
+    let summary = HistorySummary {
+        smoke,
+        seeds: report.config.seeds,
+        workers: report.config.workers,
+        total_events: report.total_events,
+        sequential_events_per_sec: report.sequential.events_per_sec,
+        parallel_events_per_sec: report.parallel.events_per_sec,
+        speedup: report.speedup,
+    };
+    if let Err(e) = history::append(&history_path, "e2e", &summary) {
+        eprintln!("warning: cannot append history to {history_path}: {e}");
+    } else {
+        println!("history appended to {history_path}");
+    }
     ExitCode::SUCCESS
 }
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
-    eprintln!("usage: e2e [--smoke] [--seeds N] [--workers W] [--out FILE]");
+    eprintln!("usage: e2e [--smoke] [--seeds N] [--workers W] [--out FILE] [--history FILE]");
     ExitCode::from(2)
 }

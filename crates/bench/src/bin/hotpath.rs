@@ -1,0 +1,362 @@
+//! Hot-path microbenchmarks: the three inner loops PR 5 optimised.
+//!
+//! ```text
+//! hotpath [--smoke] [--out FILE] [--history FILE]
+//! ```
+//!
+//! Three suites, all on deterministic inputs (an LCG, not a thread RNG):
+//!
+//! 1. **Convergence selection** at n ∈ {16, 64, 256}: the quickselect
+//!    `(m, M)` path (`select_low_high_into`, O(n) expected, zero-alloc
+//!    once warm) against the pre-PR-5 reference — collect the estimate
+//!    slices into fresh `Vec`s and fully sort both (O(n log n) plus two
+//!    allocations per call). The acceptance bar is quickselect winning at
+//!    n = 256.
+//! 2. **Event-queue churn**: steady-state schedule / cancel / pop against
+//!    the slab-bitset tombstones.
+//! 3. **Wire codec throughput**: encode + decode of a pong envelope under
+//!    both the binary codec and the JSON codec it replaced on the live
+//!    path.
+//!
+//! The JSON report goes to `--out` (default `BENCH_hotpath.json`); one
+//! timestamped summary line is appended to the shared history file
+//! (default `BENCH_history.jsonl`). `--smoke` shrinks iteration counts
+//! for CI; per-op times are comparable across modes, total wall time is
+//! not.
+
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use byzclock_bench::history;
+use byzclock_clock::LocalTime;
+use byzclock_core::convergence::select_low_high_into;
+use byzclock_core::{ConvergenceScratch, OffsetSample, PeerEstimate, WireMessage};
+use byzclock_driver::frame::{Envelope, WireCodec};
+use byzclock_sim::{EventQueue, ProcId, RealTime};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SelectionRow {
+    n: usize,
+    f: usize,
+    iters: u64,
+    select_ns_per_op: f64,
+    sort_ns_per_op: f64,
+    /// sort time / quickselect time — > 1.0 means the new path wins.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct QueueStats {
+    live_events: usize,
+    churn_ops: u64,
+    ns_per_op: f64,
+    ops_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct CodecRow {
+    codec: &'static str,
+    frame_bytes: usize,
+    iters: u64,
+    encode_ns_per_op: f64,
+    decode_ns_per_op: f64,
+    roundtrip_mb_per_sec: f64,
+}
+
+/// The compact line appended to `BENCH_history.jsonl` — enough to chart
+/// trends without replaying full reports.
+#[derive(Serialize)]
+struct HistorySummary {
+    smoke: bool,
+    select_ns_per_op_n256: f64,
+    selection_speedup_n256: f64,
+    queue_ns_per_op: f64,
+    binary_encode_ns: f64,
+    binary_decode_ns: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    benchmark: &'static str,
+    smoke: bool,
+    selection: Vec<SelectionRow>,
+    queue: QueueStats,
+    codec: Vec<CodecRow>,
+}
+
+/// Deterministic splitmix64 — bench inputs must not depend on the run.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [-1, 1).
+    fn next_signed(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+    }
+}
+
+/// Builds n estimates the way `complete_round` does: one exact self
+/// estimate, a few timeouts, the rest jittered offsets.
+fn build_estimates(n: usize, rng: &mut Lcg) -> Vec<PeerEstimate> {
+    (0..n)
+        .map(|i| {
+            let sample = if i == 0 {
+                OffsetSample {
+                    offset: 0.0,
+                    error: 0.0,
+                }
+            } else if i % 13 == 7 {
+                OffsetSample::TIMEOUT
+            } else {
+                OffsetSample {
+                    offset: rng.next_signed() * 0.05,
+                    error: 0.001 + rng.next_signed().abs() * 0.002,
+                }
+            };
+            PeerEstimate {
+                peer: ProcId::new(u32::try_from(i).expect("bench n fits u32")),
+                sample,
+            }
+        })
+        .collect()
+}
+
+/// The pre-PR-5 selection: collect both estimate slices into fresh `Vec`s
+/// and fully sort them. Kept here (not in byzclock-core) purely as the
+/// bench baseline; bit-identical results to the quickselect path.
+fn sort_based_select(f: usize, estimates: &[PeerEstimate]) -> (f64, f64) {
+    let mut lows: Vec<f64> = estimates.iter().map(|e| e.sample.overestimate()).collect();
+    let mut highs: Vec<f64> = estimates.iter().map(|e| e.sample.underestimate()).collect();
+    lows.sort_by(f64::total_cmp);
+    highs.sort_by(f64::total_cmp);
+    (lows[f], highs[highs.len() - 1 - f])
+}
+
+fn bench_selection(n: usize, iters: u64) -> SelectionRow {
+    let f = (n - 1) / 3;
+    let mut rng = Lcg(0xb5c1_0c4e ^ n as u64);
+    let estimates = build_estimates(n, &mut rng);
+    let mut scratch = ConvergenceScratch::with_capacity(n);
+
+    // Warm both paths (and the scratch capacity) out of the timed region.
+    let warm_select = select_low_high_into(f, &estimates, &mut scratch);
+    let warm_sort = sort_based_select(f, &estimates);
+    assert_eq!(
+        (warm_select.0.to_bits(), warm_select.1.to_bits()),
+        (warm_sort.0.to_bits(), warm_sort.1.to_bits()),
+        "selection paths diverged at n = {n}"
+    );
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(select_low_high_into(f, black_box(&estimates), &mut scratch));
+    }
+    let select_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(sort_based_select(f, black_box(&estimates)));
+    }
+    let sort_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+
+    SelectionRow {
+        n,
+        f,
+        iters,
+        select_ns_per_op: select_ns,
+        sort_ns_per_op: sort_ns,
+        speedup: sort_ns / select_ns,
+    }
+}
+
+/// Steady-state queue churn: a window of `live` pending events; each step
+/// pops the earliest, cancels one mid-window timer (the retransmit-timer
+/// pattern), and schedules two replacements — exercising the tombstone
+/// bitsets' insert / remove / advance paths together. Payloads carry their
+/// own id so the pending window tracks the queue exactly and never drains.
+fn bench_queue(live: usize, steps: u64) -> QueueStats {
+    let mut rng = Lcg(0x5eed_cafe);
+    let mut queue: EventQueue<u64> = EventQueue::new();
+    let mut pending = Vec::with_capacity(live + 2);
+    let mut clock = 0.0f64;
+    for _ in 0..live {
+        let at = RealTime::from_secs(clock + 1.0 + rng.next_signed().abs());
+        pending.push(queue.schedule_with(at, |id| id.as_u64()));
+    }
+
+    let start = Instant::now();
+    for _ in 0..steps {
+        let (now, popped) = queue.pop().expect("queue stays non-empty");
+        clock = now.as_secs();
+        let gone = pending
+            .iter()
+            .position(|id| id.as_u64() == popped)
+            .expect("popped event was pending");
+        pending.swap_remove(gone);
+        let victim = pending.swap_remove(rng.next_u64() as usize % pending.len());
+        assert!(queue.cancel(victim), "victim was live");
+        for _ in 0..2 {
+            let at = RealTime::from_secs(clock + 0.5 + rng.next_signed().abs());
+            pending.push(queue.schedule_with(at, |id| id.as_u64()));
+        }
+    }
+    let wall = start.elapsed();
+
+    // pop + cancel + 2×schedule per step.
+    let churn_ops = steps * 4;
+    let ns_per_op = wall.as_nanos() as f64 / churn_ops as f64;
+    QueueStats {
+        live_events: live,
+        churn_ops,
+        ns_per_op,
+        ops_per_sec: 1e9 / ns_per_op,
+    }
+}
+
+fn bench_codec(codec: WireCodec, name: &'static str, iters: u64) -> CodecRow {
+    let envelope = Envelope {
+        from: ProcId::new(7),
+        msg: WireMessage::Pong {
+            round: 412,
+            nonce: 0x00c0_ffee_f00d_cafe,
+            clock: LocalTime::from_secs(0.1 + 0.2),
+        },
+    };
+    let mut buf = Vec::with_capacity(256);
+    codec.encode_into(&envelope, &mut buf);
+    let frame_bytes = buf.len();
+    let (decoded, _) = codec.decode(&buf).expect("own frame decodes");
+    assert_eq!(decoded, envelope, "codec {name} round-trip diverged");
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        buf.clear();
+        codec.encode_into(black_box(&envelope), &mut buf);
+        black_box(&buf);
+    }
+    let encode_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(codec.decode(black_box(&buf)).expect("frame decodes"));
+    }
+    let decode_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+
+    let roundtrip_secs = (encode_ns + decode_ns) / 1e9;
+    CodecRow {
+        codec: name,
+        frame_bytes,
+        iters,
+        encode_ns_per_op: encode_ns,
+        decode_ns_per_op: decode_ns,
+        roundtrip_mb_per_sec: frame_bytes as f64 / roundtrip_secs / 1e6,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_hotpath.json");
+    let mut history_path = String::from("BENCH_history.jsonl");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(v) => out = v.clone(),
+                None => return usage("--out needs a path"),
+            },
+            "--history" => match it.next() {
+                Some(v) => history_path = v.clone(),
+                None => return usage("--history needs a path"),
+            },
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let (select_iters, queue_steps, codec_iters) = if smoke {
+        (20_000, 50_000, 100_000)
+    } else {
+        (200_000, 500_000, 1_000_000)
+    };
+
+    eprintln!("hotpath: selection n ∈ {{16, 64, 256}}, {select_iters} iters each");
+    let selection: Vec<SelectionRow> = [16usize, 64, 256]
+        .iter()
+        .map(|&n| bench_selection(n, select_iters))
+        .collect();
+    for row in &selection {
+        eprintln!(
+            "  n={:>3}: quickselect {:>7.1} ns/op | sort {:>7.1} ns/op | {:.2}x",
+            row.n, row.select_ns_per_op, row.sort_ns_per_op, row.speedup
+        );
+    }
+
+    eprintln!("hotpath: queue churn, 64 live events, {queue_steps} steps");
+    let queue = bench_queue(64, queue_steps);
+    eprintln!(
+        "  {:.1} ns/op ({:.0} ops/s)",
+        queue.ns_per_op, queue.ops_per_sec
+    );
+
+    eprintln!("hotpath: codec round-trips, {codec_iters} iters each");
+    let codec = vec![
+        bench_codec(WireCodec::Binary, "binary", codec_iters),
+        bench_codec(WireCodec::Json, "json", codec_iters),
+    ];
+    for row in &codec {
+        eprintln!(
+            "  {:>6}: encode {:>7.1} ns | decode {:>7.1} ns | {} B/frame | {:.1} MB/s",
+            row.codec,
+            row.encode_ns_per_op,
+            row.decode_ns_per_op,
+            row.frame_bytes,
+            row.roundtrip_mb_per_sec
+        );
+    }
+
+    let report = BenchReport {
+        benchmark: "hotpath",
+        smoke,
+        selection,
+        queue,
+        codec,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("report written to {out}");
+
+    let at_256 = report.selection.last().expect("three selection rows");
+    let summary = HistorySummary {
+        smoke: report.smoke,
+        select_ns_per_op_n256: at_256.select_ns_per_op,
+        selection_speedup_n256: at_256.speedup,
+        queue_ns_per_op: report.queue.ns_per_op,
+        binary_encode_ns: report.codec[0].encode_ns_per_op,
+        binary_decode_ns: report.codec[0].decode_ns_per_op,
+    };
+    if let Err(e) = history::append(&history_path, "hotpath", &summary) {
+        eprintln!("warning: cannot append history to {history_path}: {e}");
+    } else {
+        println!("history appended to {history_path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("usage: hotpath [--smoke] [--out FILE] [--history FILE]");
+    ExitCode::from(2)
+}

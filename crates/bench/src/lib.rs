@@ -33,6 +33,43 @@ pub fn run_and_print(id: &str) -> ExperimentReport {
     report
 }
 
+/// Append-only benchmark history (`BENCH_history.jsonl`).
+///
+/// Every bench-bin run appends one timestamped JSON line so trends survive
+/// the snapshot files (`BENCH_e2e.json`, `BENCH_hotpath.json`) being
+/// overwritten. The file lives at the repo root when the bins are run from
+/// there (the documented invocation); lines are self-describing so mixed
+/// benchmarks share one file.
+pub mod history {
+    use serde::{Serialize, Value};
+    use std::io::Write;
+
+    /// Appends `{"bench": name, "unix_secs": now, "data": data}` as one
+    /// JSON line to `path`, creating the file if needed. Failures are
+    /// reported to the caller; bench bins warn rather than fail, since the
+    /// history is advisory and CI runners may have a read-only checkout.
+    pub fn append<T: Serialize>(path: &str, name: &str, data: &T) -> std::io::Result<()> {
+        let unix_secs = std::time::SystemTime::now()
+            .duration_since(std::time::SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let data = serde_json::to_value(data)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let line = Value::Map(vec![
+            ("bench".to_string(), Value::Str(name.to_string())),
+            ("unix_secs".to_string(), Value::U64(unix_secs)),
+            ("data".to_string(), data),
+        ]);
+        let json = serde_json::to_string(&line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(file, "{json}")
+    }
+}
+
 fn persist(id: &str, rendered: &str) -> std::io::Result<()> {
     let dir = std::path::Path::new("target").join("experiment-reports");
     std::fs::create_dir_all(&dir)?;

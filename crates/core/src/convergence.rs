@@ -36,13 +36,47 @@ pub struct PeerEstimate {
     pub sample: OffsetSample,
 }
 
+/// Reusable scratch buffers for convergence computations.
+///
+/// The steady-state sync round runs every `SyncInt` on every node; a pair
+/// of buffers owned by the caller (in practice by
+/// [`SyncNode`](crate::SyncNode)) makes the whole round allocation-free
+/// after the first. The buffers carry no state between calls — every user
+/// clears before filling — so sharing one scratch across convergence
+/// functions is always sound.
+#[derive(Debug, Default, Clone)]
+pub struct ConvergenceScratch {
+    /// Overestimates (or offsets, for the averaging functions).
+    lows: Vec<f64>,
+    /// Underestimates.
+    highs: Vec<f64>,
+}
+
+impl ConvergenceScratch {
+    /// Fresh, empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sizes both buffers for `n` estimates.
+    pub fn with_capacity(n: usize) -> Self {
+        ConvergenceScratch {
+            lows: Vec::with_capacity(n),
+            highs: Vec::with_capacity(n),
+        }
+    }
+}
+
 /// A convergence function: computes the clock adjustment (seconds to add
 /// to `adj_p`) from the estimates gathered in one sync round.
 pub trait ConvergenceFn: fmt::Debug + Send {
     /// Short name for tables and traces.
     fn name(&self) -> &'static str;
 
-    /// The adjustment, in seconds.
+    /// The adjustment, in seconds, computed without allocating: any
+    /// intermediate storage comes from `scratch`. This is the hot-path
+    /// entry point — [`SyncNode`](crate::SyncNode) calls it once per round
+    /// with its own reusable scratch.
     ///
     /// `estimates` holds one entry per processor (length `n`), `f` is the
     /// fault bound, `way_off` the plausibility bound.
@@ -51,7 +85,21 @@ pub trait ConvergenceFn: fmt::Debug + Send {
     ///
     /// Implementations may panic if `estimates.len() < f + 1` (the
     /// selection in Figure 1 would be undefined).
-    fn adjustment(&self, f: usize, way_off: f64, estimates: &[PeerEstimate]) -> f64;
+    fn adjustment_scratch(
+        &self,
+        f: usize,
+        way_off: f64,
+        estimates: &[PeerEstimate],
+        scratch: &mut ConvergenceScratch,
+    ) -> f64;
+
+    /// The adjustment, in seconds — convenience wrapper that allocates a
+    /// throwaway scratch. Identical results to
+    /// [`ConvergenceFn::adjustment_scratch`]; tests and one-shot callers
+    /// use it, hosts on the hot path should not.
+    fn adjustment(&self, f: usize, way_off: f64, estimates: &[PeerEstimate]) -> f64 {
+        self.adjustment_scratch(f, way_off, estimates, &mut ConvergenceScratch::new())
+    }
 
     /// Clones into a box (convergence functions are tiny value objects).
     fn box_clone(&self) -> Box<dyn ConvergenceFn>;
@@ -63,25 +111,53 @@ impl Clone for Box<dyn ConvergenceFn> {
     }
 }
 
-/// Selects Figure 1's `(m, M)`: the `(f+1)`-st smallest overestimate and
-/// the `(f+1)`-st largest underestimate.
+/// Selects Figure 1's `(m, M)` — the `(f+1)`-st smallest overestimate and
+/// the `(f+1)`-st largest underestimate — into caller-provided scratch,
+/// via `select_nth_unstable_by` (O(n) expected, no allocation once the
+/// scratch has warmed up).
+///
+/// Bit-identical to a full `sort_by(f64::total_cmp)` followed by indexing:
+/// `total_cmp` is a *total* order in which two floats compare equal iff
+/// their bit patterns are identical, so the value at any rank is uniquely
+/// determined regardless of how the selection permutes the rest.
 ///
 /// # Panics
 ///
 /// Panics if `estimates.len() < f + 1`.
-pub fn select_low_high(f: usize, estimates: &[PeerEstimate]) -> (f64, f64) {
+pub fn select_low_high_into(
+    f: usize,
+    estimates: &[PeerEstimate],
+    scratch: &mut ConvergenceScratch,
+) -> (f64, f64) {
     assert!(
         estimates.len() > f,
         "need at least f+1 estimates (got {}, f = {f})",
         estimates.len()
     );
-    let mut overs: Vec<f64> = estimates.iter().map(|e| e.sample.overestimate()).collect();
-    let mut unders: Vec<f64> = estimates.iter().map(|e| e.sample.underestimate()).collect();
-    overs.sort_by(f64::total_cmp);
-    unders.sort_by(f64::total_cmp);
-    let m = overs[f];
-    let big_m = unders[unders.len() - 1 - f];
-    (m, big_m)
+    scratch.lows.clear();
+    scratch.highs.clear();
+    for e in estimates {
+        scratch.lows.push(e.sample.overestimate());
+        scratch.highs.push(e.sample.underestimate());
+    }
+    let (_, m, _) = scratch.lows.select_nth_unstable_by(f, f64::total_cmp);
+    let m = *m;
+    let high_rank = scratch.highs.len() - 1 - f;
+    let (_, big_m, _) = scratch
+        .highs
+        .select_nth_unstable_by(high_rank, f64::total_cmp);
+    (m, *big_m)
+}
+
+/// Selects Figure 1's `(m, M)`: the `(f+1)`-st smallest overestimate and
+/// the `(f+1)`-st largest underestimate. Thin wrapper over
+/// [`select_low_high_into`] with a throwaway scratch.
+///
+/// # Panics
+///
+/// Panics if `estimates.len() < f + 1`.
+pub fn select_low_high(f: usize, estimates: &[PeerEstimate]) -> (f64, f64) {
+    select_low_high_into(f, estimates, &mut ConvergenceScratch::new())
 }
 
 /// The paper's convergence function (Figure 1, lines 6–12).
@@ -109,8 +185,14 @@ impl ConvergenceFn for PaperSync {
         "paper-sync"
     }
 
-    fn adjustment(&self, f: usize, way_off: f64, estimates: &[PeerEstimate]) -> f64 {
-        let (m, big_m) = select_low_high(f, estimates);
+    fn adjustment_scratch(
+        &self,
+        f: usize,
+        way_off: f64,
+        estimates: &[PeerEstimate],
+        scratch: &mut ConvergenceScratch,
+    ) -> f64 {
+        let (m, big_m) = select_low_high_into(f, estimates, scratch);
         if m >= -way_off && big_m <= way_off {
             (m.min(0.0) + big_m.max(0.0)) / 2.0
         } else {
@@ -155,8 +237,14 @@ impl ConvergenceFn for MinimalCorrection {
         "fc-minimal"
     }
 
-    fn adjustment(&self, f: usize, _way_off: f64, estimates: &[PeerEstimate]) -> f64 {
-        let (m, big_m) = select_low_high(f, estimates);
+    fn adjustment_scratch(
+        &self,
+        f: usize,
+        _way_off: f64,
+        estimates: &[PeerEstimate],
+        scratch: &mut ConvergenceScratch,
+    ) -> f64 {
+        let (m, big_m) = select_low_high_into(f, estimates, scratch);
         let step = (m.min(0.0) + big_m.max(0.0)) / 2.0;
         step.clamp(-self.max_step, self.max_step)
     }
@@ -177,23 +265,31 @@ impl ConvergenceFn for TrimmedMean {
         "trimmed-mean"
     }
 
-    fn adjustment(&self, f: usize, _way_off: f64, estimates: &[PeerEstimate]) -> f64 {
+    fn adjustment_scratch(
+        &self,
+        f: usize,
+        _way_off: f64,
+        estimates: &[PeerEstimate],
+        scratch: &mut ConvergenceScratch,
+    ) -> f64 {
         assert!(
             estimates.len() > 2 * f,
             "trimmed mean needs more than 2f estimates"
         );
-        let mut offsets: Vec<f64> = estimates
-            .iter()
-            .map(|e| {
-                if e.sample.is_timeout() {
-                    0.0
-                } else {
-                    e.sample.offset
-                }
-            })
-            .collect();
-        offsets.sort_by(f64::total_cmp);
-        let kept = &offsets[f..offsets.len() - f];
+        scratch.lows.clear();
+        scratch.lows.extend(estimates.iter().map(|e| {
+            if e.sample.is_timeout() {
+                0.0
+            } else {
+                e.sample.offset
+            }
+        }));
+        // The kept elements must be summed in ascending order (float
+        // addition is order-sensitive); a full in-scratch sort keeps the
+        // historical summation order bit-for-bit. Quickselecting the two
+        // trim points would be O(n) but permute the middle.
+        scratch.lows.sort_unstable_by(f64::total_cmp); // lint:allow(hot-path-alloc)
+        let kept = &scratch.lows[f..scratch.lows.len() - f];
         kept.iter().sum::<f64>() / kept.len() as f64
     }
 
@@ -213,16 +309,25 @@ impl ConvergenceFn for UnguardedMean {
         "unguarded-mean"
     }
 
-    fn adjustment(&self, _f: usize, _way_off: f64, estimates: &[PeerEstimate]) -> f64 {
-        let finite: Vec<f64> = estimates
-            .iter()
-            .filter(|e| !e.sample.is_timeout())
-            .map(|e| e.sample.offset)
-            .collect();
-        if finite.is_empty() {
+    fn adjustment_scratch(
+        &self,
+        _f: usize,
+        _way_off: f64,
+        estimates: &[PeerEstimate],
+        _scratch: &mut ConvergenceScratch,
+    ) -> f64 {
+        // Single pass, summing in slice order — the same order the old
+        // collect-then-sum path used, so the result is bit-identical.
+        let mut sum = 0.0;
+        let mut kept = 0u32;
+        for e in estimates.iter().filter(|e| !e.sample.is_timeout()) {
+            sum += e.sample.offset;
+            kept += 1;
+        }
+        if kept == 0 {
             0.0
         } else {
-            finite.iter().sum::<f64>() / finite.len() as f64
+            sum / f64::from(kept)
         }
     }
 
@@ -244,24 +349,37 @@ impl ConvergenceFn for MedianConvergence {
         "median"
     }
 
-    fn adjustment(&self, _f: usize, _way_off: f64, estimates: &[PeerEstimate]) -> f64 {
+    fn adjustment_scratch(
+        &self,
+        _f: usize,
+        _way_off: f64,
+        estimates: &[PeerEstimate],
+        scratch: &mut ConvergenceScratch,
+    ) -> f64 {
         assert!(!estimates.is_empty(), "median of no estimates");
-        let mut offsets: Vec<f64> = estimates
-            .iter()
-            .map(|e| {
-                if e.sample.is_timeout() {
-                    0.0
-                } else {
-                    e.sample.offset
-                }
-            })
-            .collect();
-        offsets.sort_by(f64::total_cmp);
-        let mid = offsets.len() / 2;
-        if offsets.len() % 2 == 1 {
-            offsets[mid]
+        scratch.lows.clear();
+        scratch.lows.extend(estimates.iter().map(|e| {
+            if e.sample.is_timeout() {
+                0.0
+            } else {
+                e.sample.offset
+            }
+        }));
+        let len = scratch.lows.len();
+        let mid = len / 2;
+        let (below, pivot, _) = scratch.lows.select_nth_unstable_by(mid, f64::total_cmp);
+        if len % 2 == 1 {
+            *pivot
         } else {
-            (offsets[mid - 1] + offsets[mid]) / 2.0
+            // Rank mid-1 is the total_cmp maximum of the left partition;
+            // ranks are bit-determined under the total order, so this
+            // matches the old full sort exactly.
+            let lower = below
+                .iter()
+                .copied()
+                .max_by(f64::total_cmp)
+                .expect("even length >= 2 has a lower half");
+            (lower + *pivot) / 2.0
         }
     }
 
@@ -279,7 +397,13 @@ impl ConvergenceFn for NoOpConvergence {
         "no-sync"
     }
 
-    fn adjustment(&self, _f: usize, _way_off: f64, _estimates: &[PeerEstimate]) -> f64 {
+    fn adjustment_scratch(
+        &self,
+        _f: usize,
+        _way_off: f64,
+        _estimates: &[PeerEstimate],
+        _scratch: &mut ConvergenceScratch,
+    ) -> f64 {
         0.0
     }
 
@@ -636,6 +760,63 @@ mod tests {
                 let min_honest = honest.iter().cloned().fold(f64::INFINITY, f64::min);
                 prop_assert!(m <= max_honest + 1e-9);
                 prop_assert!(big_m >= min_honest - 1e-9);
+            }
+
+            /// Quickselect-into-scratch `(m, M)` matches the historical
+            /// sort-based selection bit-for-bit — on mixes of ordinary
+            /// values, deliberate duplicates, and `±inf` over/underestimates
+            /// from `OffsetSample::TIMEOUT` sentinels.
+            #[test]
+            fn scratch_selection_matches_sort_based(
+                samples in proptest::collection::vec(
+                    prop_oneof![
+                        3 => (-100.0f64..100.0, 0.0f64..10.0),
+                        // timeout sentinel: over = +inf, under = -inf
+                        1 => (Just(0.0f64), Just(f64::INFINITY)),
+                        // a small palette forces duplicated values
+                        2 => (prop_oneof![Just(-1.0f64), Just(0.0), Just(1.0), Just(2.5)],
+                              Just(0.25f64)),
+                    ],
+                    1..16),
+                f_raw in 0usize..4,
+            ) {
+                let f = f_raw.min(samples.len() - 1);
+                let e = est(&samples);
+                // reference: the pre-optimization two-sorts implementation
+                let mut overs: Vec<f64> =
+                    e.iter().map(|x| x.sample.overestimate()).collect();
+                let mut unders: Vec<f64> =
+                    e.iter().map(|x| x.sample.underestimate()).collect();
+                overs.sort_by(f64::total_cmp);
+                unders.sort_by(f64::total_cmp);
+                let expect = (overs[f], unders[unders.len() - 1 - f]);
+                let mut scratch = ConvergenceScratch::new();
+                let got = select_low_high_into(f, &e, &mut scratch);
+                prop_assert_eq!(got.0.to_bits(), expect.0.to_bits());
+                prop_assert_eq!(got.1.to_bits(), expect.1.to_bits());
+                // the compatibility wrapper agrees with the scratch path
+                let wrapped = select_low_high(f, &e);
+                prop_assert_eq!(wrapped.0.to_bits(), got.0.to_bits());
+                prop_assert_eq!(wrapped.1.to_bits(), got.1.to_bits());
+            }
+
+            /// A reused (dirty) scratch gives every convergence function
+            /// the same bits as a fresh one — scratch carries no state.
+            #[test]
+            fn scratch_reuse_is_stateless(
+                first in proptest::collection::vec(-100.0f64..100.0, 5..12),
+                second in proptest::collection::vec(-100.0f64..100.0, 5..12),
+            ) {
+                let mut scratch = ConvergenceScratch::new();
+                for values in [&first, &second] {
+                    let e = exact(values);
+                    for cf in all_fns() {
+                        let fresh = cf.adjustment(1, 10.0, &e);
+                        let reused = cf.adjustment_scratch(1, 10.0, &e, &mut scratch);
+                        prop_assert_eq!(fresh.to_bits(), reused.to_bits(),
+                            "{} diverges under scratch reuse", cf.name());
+                    }
+                }
             }
 
             /// Paper function is symmetric under negation of all estimates.

@@ -58,8 +58,8 @@ pub mod wire;
 pub use analysis::{ChainViolation, Envelope, EnvelopeChain};
 pub use bounds::{BoundsError, Derived, NetworkModel, TheoremBounds};
 pub use convergence::{
-    ConvergenceFn, MedianConvergence, MinimalCorrection, NoOpConvergence, PaperSync, PeerEstimate,
-    TrimmedMean, UnguardedMean,
+    ConvergenceFn, ConvergenceScratch, MedianConvergence, MinimalCorrection, NoOpConvergence,
+    PaperSync, PeerEstimate, TrimmedMean, UnguardedMean,
 };
 pub use estimate::OffsetSample;
 pub use node::{EstimationMode, Input, Output, RoundSummary, SyncNode, TimerKind};

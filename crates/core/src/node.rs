@@ -27,7 +27,7 @@
 use byzclock_clock::LocalTime;
 use byzclock_sim::{DetRng, ProcId, SimDuration};
 
-use crate::convergence::{ConvergenceFn, PaperSync, PeerEstimate};
+use crate::convergence::{ConvergenceFn, ConvergenceScratch, PaperSync, PeerEstimate};
 use crate::estimate::OffsetSample;
 use crate::params::ProtocolParams;
 use crate::wire::WireMessage;
@@ -140,10 +140,6 @@ struct ActiveRound {
     round: u64,
     nonce: u64,
     sent_at: LocalTime,
-    /// Collected pong samples per peer (up to `pings_per_peer` each; the
-    /// self slot stays empty and is filled with the exact `(0, 0)` sample
-    /// at completion).
-    samples: Vec<Vec<OffsetSample>>,
 }
 
 /// One processor's `Sync` protocol instance.
@@ -166,6 +162,16 @@ pub struct SyncNode {
     /// so nonces are unpredictable to peers yet the whole run stays a pure
     /// function of the world seed.
     nonces: DetRng,
+    /// Collected pong samples per peer for the active round (up to
+    /// `pings_per_peer` each; the self slot stays empty and is filled with
+    /// the exact `(0, 0)` sample at completion). Owned by the node — not
+    /// the round — so steady-state rounds reuse the capacity instead of
+    /// reallocating `n` vectors every `SyncInt`.
+    samples: Vec<Vec<OffsetSample>>,
+    /// Reusable estimates buffer for round completion.
+    estimates: Vec<PeerEstimate>,
+    /// Reusable scratch for the convergence function's selection buffers.
+    scratch: ConvergenceScratch,
 }
 
 impl SyncNode {
@@ -201,6 +207,9 @@ impl SyncNode {
             // still get distinct streams. Hosts override via
             // `with_nonce_seed` with a fork of their root seed.
             nonces: DetRng::seeded(0x6E6F_6E63_6500_0000 ^ (id.index() as u64 + 1)),
+            samples: vec![Vec::new(); n],
+            estimates: Vec::with_capacity(n),
+            scratch: ConvergenceScratch::with_capacity(n),
         }
     }
 
@@ -284,7 +293,7 @@ impl SyncNode {
                 match self.estimation {
                     EstimationMode::PerRound => self.begin_round(local_now, out),
                     EstimationMode::Cached { refresh } => {
-                        self.cache = vec![None; self.params.n()];
+                        self.cache.iter_mut().for_each(|slot| *slot = None);
                         self.refresh_cache(local_now, out);
                         out.push(Output::SetTimer {
                             after: refresh,
@@ -361,8 +370,12 @@ impl SyncNode {
             round,
             nonce,
             sent_at: local_now,
-            samples: vec![Vec::new(); n],
         });
+        // Reuse the node-owned per-peer sample storage: clearing keeps the
+        // inner capacities, so steady-state rounds allocate nothing.
+        for slot in &mut self.samples {
+            slot.clear();
+        }
         // Section 3.1's min-RTT refinement: k pings per peer; the replies
         // are filtered by smallest round trip at completion. Pre-size the
         // fan-out so a reused scratch buffer grows at most once.
@@ -415,16 +428,16 @@ impl SyncNode {
             }
             return;
         }
-        let Some(active) = self.active.as_mut() else {
+        let Some(active) = self.active.as_ref() else {
             return; // stale pong after round completion
         };
         if active.round != round || active.nonce != nonce {
             return; // wrong round or replay
         }
-        if from.index() >= active.samples.len() || from == me {
+        if from.index() >= self.samples.len() || from == me {
             return; // nonsensical sender
         }
-        if active.samples[from.index()].len() >= k {
+        if self.samples[from.index()].len() >= k {
             return; // more pongs than pings: duplicate/forged
         }
         if local_now < active.sent_at {
@@ -432,12 +445,9 @@ impl SyncNode {
             // an adjustment, and we never adjust mid-round; defensive skip.
             return;
         }
-        active.samples[from.index()].push(OffsetSample::from_ping_pong(
-            active.sent_at,
-            local_now,
-            clock,
-        ));
-        let all_full = active
+        let sample = OffsetSample::from_ping_pong(active.sent_at, local_now, clock);
+        self.samples[from.index()].push(sample);
+        let all_full = self
             .samples
             .iter()
             .enumerate()
@@ -463,11 +473,9 @@ impl SyncNode {
         let Some(active) = self.active.take() else {
             return;
         };
-        let estimates: Vec<PeerEstimate> = active
-            .samples
-            .iter()
-            .enumerate()
-            .map(|(i, samples)| PeerEstimate {
+        self.estimates.clear();
+        for (i, samples) in self.samples.iter().enumerate() {
+            self.estimates.push(PeerEstimate {
                 peer: ProcId(i as u32),
                 sample: if i == self.id.index() {
                     // "for each q ∈ {1..n}" includes p: exact self-estimate.
@@ -479,13 +487,20 @@ impl SyncNode {
                     // min-RTT filter; TIMEOUT if no pong arrived at all
                     OffsetSample::best_of(samples)
                 },
-            })
-            .collect();
-        let timeouts = estimates.iter().filter(|e| e.sample.is_timeout()).count();
-        let responders = estimates.len() - timeouts - 1; // minus self
-        let delta = self
-            .convergence
-            .adjustment(self.params.f(), self.params.way_off(), &estimates);
+            });
+        }
+        let timeouts = self
+            .estimates
+            .iter()
+            .filter(|e| e.sample.is_timeout())
+            .count();
+        let responders = self.estimates.len() - timeouts - 1; // minus self
+        let delta = self.convergence.adjustment_scratch(
+            self.params.f(),
+            self.params.way_off(),
+            &self.estimates,
+            &mut self.scratch,
+        );
         self.rounds_completed += 1;
         out.extend([
             Output::AdjustClock {
@@ -527,8 +542,9 @@ impl SyncNode {
     /// naive separate-thread pattern the paper warns about: samples may
     /// predate the node's own latest adjustments.
     fn sync_from_cache(&mut self, out: &mut Vec<Output>) {
-        let estimates: Vec<PeerEstimate> = (0..self.params.n())
-            .map(|i| PeerEstimate {
+        self.estimates.clear();
+        for i in 0..self.params.n() {
+            self.estimates.push(PeerEstimate {
                 peer: ProcId(i as u32),
                 sample: if i == self.id.index() {
                     OffsetSample {
@@ -538,12 +554,20 @@ impl SyncNode {
                 } else {
                     self.cache[i].unwrap_or(OffsetSample::TIMEOUT)
                 },
-            })
-            .collect();
-        let timeouts = estimates.iter().filter(|e| e.sample.is_timeout()).count();
-        let delta = self
-            .convergence
-            .adjustment(self.params.f(), self.params.way_off(), &estimates);
+            });
+        }
+        let timeouts = self
+            .estimates
+            .iter()
+            .filter(|e| e.sample.is_timeout())
+            .count();
+        let responders = self.estimates.len() - timeouts - 1;
+        let delta = self.convergence.adjustment_scratch(
+            self.params.f(),
+            self.params.way_off(),
+            &self.estimates,
+            &mut self.scratch,
+        );
         self.rounds_completed += 1;
         out.extend([
             Output::AdjustClock {
@@ -552,7 +576,7 @@ impl SyncNode {
             Output::RoundCompleted(RoundSummary {
                 round: self.round,
                 adjustment: delta,
-                responders: estimates.len() - timeouts - 1,
+                responders,
                 timeouts,
             }),
             Output::SetTimer {

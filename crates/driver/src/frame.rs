@@ -10,6 +10,14 @@
 //! Authentication note: the paper assumes authenticated links, so a
 //! deployment would MAC each frame; the loopback runtime trusts
 //! `Envelope::from` as a stand-in and documents the gap.
+//!
+//! Two payload codecs share this framing: the self-describing serde-JSON
+//! one in this module (debuggability; the historical default) and the
+//! fixed-layout little-endian one in [`binary`] (bit-exact floats via
+//! `f64::to_bits`, ~4× smaller, no serde on the hot path). [`WireCodec`]
+//! selects between them per-transport.
+
+pub mod binary;
 
 use byzclock_core::WireMessage;
 use byzclock_sim::ProcId;
@@ -63,12 +71,67 @@ impl std::error::Error for FrameError {}
 
 /// Encodes an envelope as one frame.
 pub fn encode(envelope: &Envelope) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(envelope, &mut out);
+    out
+}
+
+/// Encodes an envelope as one frame, appending to `out` (not cleared —
+/// the caller owns the buffer lifecycle).
+pub fn encode_into(envelope: &Envelope, out: &mut Vec<u8>) {
     let body = serde_json::to_string(envelope).expect("envelopes always serialize");
     let body = body.as_bytes();
-    let mut out = Vec::with_capacity(4 + body.len());
+    out.reserve(4 + body.len());
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
     out.extend_from_slice(body);
-    out
+}
+
+/// Which payload codec a transport frames its envelopes with.
+///
+/// Both sides of a link must agree (there is no in-band negotiation —
+/// a frame of the other codec decodes as [`FrameError::Malformed`] and is
+/// dropped like line noise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireCodec {
+    /// Self-describing serde-JSON payloads: human-readable in packet
+    /// captures, but allocates per datagram and cannot carry non-finite
+    /// floats.
+    Json,
+    /// Fixed-layout little-endian payloads ([`binary`]): bit-exact floats,
+    /// allocation-free with a reused buffer. The default for the live
+    /// runtime.
+    #[default]
+    Binary,
+}
+
+impl WireCodec {
+    /// Encodes one frame, appending to `out`.
+    pub fn encode_into(self, envelope: &Envelope, out: &mut Vec<u8>) {
+        match self {
+            WireCodec::Json => encode_into(envelope, out),
+            WireCodec::Binary => binary::encode_into(envelope, out),
+        }
+    }
+
+    /// Encodes one freshly allocated frame.
+    pub fn encode(self, envelope: &Envelope) -> Vec<u8> {
+        match self {
+            WireCodec::Json => encode(envelope),
+            WireCodec::Binary => binary::encode(envelope),
+        }
+    }
+
+    /// Decodes one frame from the front of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// See [`FrameError`].
+    pub fn decode(self, buf: &[u8]) -> Result<(Envelope, usize), FrameError> {
+        match self {
+            WireCodec::Json => decode(buf),
+            WireCodec::Binary => binary::decode(buf),
+        }
+    }
 }
 
 /// Decodes one frame from the front of `buf`, returning the envelope and
@@ -187,5 +250,159 @@ mod tests {
         assert_eq!(used, frame_len);
         let (_, used2) = decode(&buf[used..]).unwrap();
         assert_eq!(used + used2, buf.len());
+    }
+
+    #[test]
+    fn wire_codec_dispatches_to_both_paths() {
+        let e = envelope();
+        for codec in [WireCodec::Json, WireCodec::Binary] {
+            let frame = codec.encode(&e);
+            let (back, used) = codec.decode(&frame).unwrap();
+            assert_eq!(back, e, "{codec:?}");
+            assert_eq!(used, frame.len());
+            let mut buf = Vec::new();
+            codec.encode_into(&e, &mut buf);
+            assert_eq!(buf, frame);
+        }
+        assert_eq!(WireCodec::default(), WireCodec::Binary);
+    }
+
+    #[test]
+    fn codecs_are_not_cross_compatible() {
+        // A frame of one codec must decode as Malformed under the other —
+        // dropped like line noise, never misparsed into a message.
+        let e = envelope();
+        assert!(matches!(
+            WireCodec::Binary.decode(&WireCodec::Json.encode(&e)),
+            Err(FrameError::Malformed(_))
+        ));
+        assert!(matches!(
+            WireCodec::Json.decode(&WireCodec::Binary.encode(&e)),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Any non-NaN bit pattern (LocalTime forbids NaN — NaN draws map
+        /// to +inf), with the special values the protocol can actually
+        /// produce weighted in.
+        fn arb_clock() -> impl Strategy<Value = f64> {
+            prop_oneof![
+                8 => any::<u64>().prop_map(|bits| {
+                    let v = f64::from_bits(bits);
+                    if v.is_nan() { f64::INFINITY } else { v }
+                }),
+                1 => Just(f64::NEG_INFINITY),
+                1 => Just(-0.0f64),
+                1 => Just(0.1 + 0.2),
+            ]
+        }
+
+        fn arb_envelope() -> impl Strategy<Value = Envelope> {
+            (
+                any::<u32>(),
+                any::<u64>(),
+                any::<u64>(),
+                arb_clock(),
+                any::<u64>(),
+            )
+                .prop_map(|(from, round, nonce, clock, pick)| Envelope {
+                    from: ProcId(from),
+                    msg: if pick % 2 == 0 {
+                        WireMessage::Ping { round, nonce }
+                    } else {
+                        WireMessage::Pong {
+                            round,
+                            nonce,
+                            clock: byzclock_clock::LocalTime::from_secs(clock),
+                        }
+                    },
+                })
+        }
+
+        proptest! {
+            /// The binary codec round-trips any envelope bit-exactly —
+            /// including ±inf and subnormal clock values JSON cannot carry.
+            #[test]
+            fn binary_roundtrips_bit_exactly(e in arb_envelope()) {
+                let frame = binary::encode(&e);
+                let (back, used) = binary::decode(&frame).unwrap();
+                prop_assert_eq!(used, frame.len());
+                prop_assert_eq!(back.from, e.from);
+                match (back.msg, e.msg) {
+                    (
+                        WireMessage::Ping { round: r1, nonce: n1 },
+                        WireMessage::Ping { round: r2, nonce: n2 },
+                    ) => prop_assert_eq!((r1, n1), (r2, n2)),
+                    (
+                        WireMessage::Pong { round: r1, nonce: n1, clock: c1 },
+                        WireMessage::Pong { round: r2, nonce: n2, clock: c2 },
+                    ) => {
+                        prop_assert_eq!((r1, n1), (r2, n2));
+                        prop_assert_eq!(
+                            c1.as_secs().to_bits(),
+                            c2.as_secs().to_bits()
+                        );
+                    }
+                    _ => prop_assert!(false, "message kind changed in transit"),
+                }
+            }
+
+            /// On ordinary finite clocks both codecs decode their own
+            /// encodings to equal messages — the codecs agree on meaning,
+            /// only the bytes differ.
+            #[test]
+            fn json_and_binary_decode_to_equal_messages(
+                from in any::<u32>(),
+                round in any::<u64>(),
+                nonce in any::<u64>(),
+                clock in -1e12f64..1e12,
+                pick in any::<u64>(),
+            ) {
+                let e = Envelope {
+                    from: ProcId(from),
+                    msg: if pick % 2 == 0 {
+                        WireMessage::Ping { round, nonce }
+                    } else {
+                        WireMessage::Pong {
+                            round,
+                            nonce,
+                            clock: byzclock_clock::LocalTime::from_secs(clock),
+                        }
+                    },
+                };
+                let (via_json, _) = decode(&encode(&e)).unwrap();
+                let (via_binary, _) = binary::decode(&binary::encode(&e)).unwrap();
+                prop_assert_eq!(via_json, via_binary);
+                prop_assert_eq!(via_json, e);
+            }
+
+            /// Every strict prefix of a binary frame is rejected as
+            /// truncated (the same contract the JSON tests pin).
+            #[test]
+            fn binary_prefixes_rejected_as_truncated(
+                e in arb_envelope(),
+                cut in 0usize..1024,
+            ) {
+                let frame = binary::encode(&e);
+                let cut = cut % frame.len();
+                prop_assert!(matches!(
+                    binary::decode(&frame[..cut]),
+                    Err(FrameError::Truncated { .. })
+                ));
+            }
+
+            /// Arbitrary garbage never panics the binary decoder; it
+            /// errors or parses, nothing else.
+            #[test]
+            fn binary_decode_never_panics_on_garbage(
+                bytes in proptest::collection::vec(any::<u8>(), 0..64),
+            ) {
+                let _ = binary::decode(&bytes);
+            }
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! unseeded randomness, unordered-map iteration, or NaN-sensitive float
 //! comparisons. This crate enforces that mechanically — a token-level
 //! static analyzer (no `syn` in the offline vendor set, and none needed)
-//! with five rules:
+//! with six rules:
 //!
 //! | rule | slug                  | forbids                                      |
 //! |------|-----------------------|----------------------------------------------|
@@ -15,8 +15,9 @@
 //! | D3   | `unordered-collection`| `HashMap`/`HashSet` in sim/runtime/protocol  |
 //! | D4   | `float-ord`           | `.partial_cmp(..)` calls (use `total_cmp`)   |
 //! | D5   | `hot-path-unwrap`     | `.unwrap()`/`.expect()` in `impl SyncNode`/`impl World` |
+//! | D6   | `hot-path-alloc`      | `.sort_by`/`.sort_unstable_by`/`.collect` in `impl SyncNode`/`ConvergenceFn` impls |
 //!
-//! Per-site escape: `// lint:allow(<slug>)` (or `d1`…`d5`) on the finding's
+//! Per-site escape: `// lint:allow(<slug>)` (or `d1`…`d6`) on the finding's
 //! line or the line directly above, with a justification in the same
 //! comment. Test code (`tests/` trees, `#[cfg(test)]`/`#[test]` items) is
 //! out of scope. Whole-crate scoping lives in

@@ -65,7 +65,7 @@ fn main() -> ExitCode {
             Ok(f) => {
                 if f.is_empty() {
                     println!(
-                        "byzclock-lint: clean — {} crates ({}) pass D1-D5",
+                        "byzclock-lint: clean — {} crates ({}) pass D1-D6",
                         SCANNED_CRATES.len(),
                         SCANNED_CRATES.join(", ")
                     );

@@ -1,4 +1,4 @@
-//! The determinism rule set (D1–D5) and the token-stream analyzer.
+//! The determinism rule set (D1–D6) and the token-stream analyzer.
 //!
 //! Every rule guards the property the whole reproduction rests on:
 //! bit-exact determinism of simulation runs, which the chaos-campaign
@@ -14,7 +14,7 @@
 
 use crate::tokenizer::{lex, Lexed, TokKind, Token};
 
-/// Stable rule metadata: id (`d1`…`d5`), slug, and rationale.
+/// Stable rule metadata: id (`d1`…`d6`), slug, and rationale.
 #[derive(Debug, Clone, Copy)]
 pub struct RuleInfo {
     pub id: &'static str,
@@ -24,7 +24,7 @@ pub struct RuleInfo {
 
 /// The rule table, in rule order. The slug is what `lint:allow` takes
 /// (the short id is accepted too).
-pub const RULES: [RuleInfo; 5] = [
+pub const RULES: [RuleInfo; 6] = [
     RuleInfo {
         id: "d1",
         slug: "wall-clock",
@@ -58,6 +58,13 @@ pub const RULES: [RuleInfo; 5] = [
                   event-dispatch code — a poisoned or absent value must be \
                   handled, not crash the world mid-event",
     },
+    RuleInfo {
+        id: "d6",
+        slug: "hot-path-alloc",
+        summary: "no .sort_by/.sort_unstable_by/.collect inside impl SyncNode / \
+                  ConvergenceFn impls — the per-round path must reuse scratch \
+                  buffers and select in O(n), not allocate-and-sort",
+    },
 ];
 
 /// One lint finding at a source position.
@@ -67,7 +74,7 @@ pub struct Finding {
     pub file: String,
     pub line: u32,
     pub col: u32,
-    /// `d1`…`d5`.
+    /// `d1`…`d6`.
     pub rule: &'static str,
     /// `wall-clock`, … — the `lint:allow` name.
     pub slug: &'static str,
@@ -280,6 +287,14 @@ impl<'a> Analyzer<'a> {
             .any(|s| s.impl_names.iter().any(|n| n == "SyncNode" || n == "World"))
     }
 
+    fn in_round_hot_path_impl(&self) -> bool {
+        self.scopes.iter().any(|s| {
+            s.impl_names
+                .iter()
+                .any(|n| n == "SyncNode" || n == "ConvergenceFn")
+        })
+    }
+
     fn enclosing_fn(&self) -> Option<&str> {
         self.scopes.iter().rev().find_map(|s| s.fn_name.as_deref())
     }
@@ -401,6 +416,26 @@ impl<'a> Analyzer<'a> {
                     );
                 }
             }
+            // D6 — allocation/sort on the per-round hot path.
+            "sort_by" | "sort_unstable_by" | "collect" => {
+                let is_call = prev_dot
+                    && self
+                        .tok(at + 1)
+                        .is_some_and(|t| t.is_punct('(') || t.is_punct(':'));
+                if is_call && self.in_round_hot_path_impl() {
+                    let name = t.text.clone();
+                    let fn_name = self.enclosing_fn().unwrap_or("?").to_string();
+                    self.report(
+                        5,
+                        at,
+                        format!(
+                            "`.{name}` in `{fn_name}` allocates or sorts on the \
+                             per-round path; reuse ConvergenceScratch and \
+                             select_nth_unstable_by (or justify the escape)"
+                        ),
+                    );
+                }
+            }
             _ => {}
         }
     }
@@ -477,6 +512,55 @@ mod tests {
         assert_eq!(slugs(&f), ["hot-path-unwrap"]);
         assert!(f[0].message.contains("complete_round"));
         let src = "impl Other { fn g(&self) { self.x.take().unwrap(); } }";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d6_flags_sort_and_collect_only_on_the_round_hot_path() {
+        let src = r#"
+            impl ConvergenceFn for TrimmedMean {
+                fn adjustment_scratch(&self) -> f64 {
+                    scratch.lows.sort_unstable_by(f64::total_cmp);
+                    0.0
+                }
+            }
+        "#;
+        let f = lint_source("x.rs", src);
+        assert_eq!(slugs(&f), ["hot-path-alloc"]);
+        assert!(f[0].message.contains("adjustment_scratch"));
+
+        let src = r#"
+            impl SyncNode {
+                fn complete_round(&mut self) {
+                    let v: Vec<f64> = self.samples.iter().map(|s| s.offset).collect();
+                    v.sort_by(f64::total_cmp);
+                }
+            }
+        "#;
+        assert_eq!(
+            slugs(&lint_source("x.rs", src)),
+            ["hot-path-alloc", "hot-path-alloc"]
+        );
+
+        // same calls outside the hot-path impls are fine
+        let src = "impl Report { fn render(&self) -> Vec<u8> { self.rows.iter().collect() } }";
+        assert!(lint_source("x.rs", src).is_empty());
+        // and a non-call mention (field named collect) is fine too
+        let src = "impl SyncNode { fn f(&self) -> u32 { self.collect } }";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d6_allow_escape_works() {
+        let src = r#"
+            impl ConvergenceFn for TrimmedMean {
+                fn adjustment_scratch(&self) -> f64 {
+                    // full in-scratch sort needed for summation order: lint:allow(hot-path-alloc)
+                    scratch.lows.sort_unstable_by(f64::total_cmp);
+                    0.0
+                }
+            }
+        "#;
         assert!(lint_source("x.rs", src).is_empty());
     }
 

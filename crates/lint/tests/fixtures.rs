@@ -27,6 +27,7 @@ fn each_rule_fixture_triggers_exactly_its_rule() {
         ("d3_unordered_collection.rs", "d3"),
         ("d4_float_ord.rs", "d4"),
         ("d5_hot_path_unwrap.rs", "d5"),
+        ("d6_hot_path_alloc.rs", "d6"),
     ];
     for (file, rule) in cases {
         let findings = lint_file(&fixture(file)).expect("fixture readable");
@@ -56,6 +57,18 @@ fn d5_fixture_flags_both_sync_node_and_world_methods() {
     assert_eq!(findings.len(), 2, "{findings:#?}");
     assert!(findings.iter().any(|f| f.message.contains("handle")));
     assert!(findings.iter().any(|f| f.message.contains("dispatch")));
+}
+
+#[test]
+fn d6_fixture_flags_sync_node_and_convergence_impls() {
+    let findings = lint_file(&fixture("d6_hot_path_alloc.rs")).expect("fixture readable");
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("complete_round")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("adjustment_scratch")));
 }
 
 #[test]
@@ -109,6 +122,7 @@ fn cli_exits_nonzero_on_each_rule_fixture() {
         "d3_unordered_collection.rs",
         "d4_float_ord.rs",
         "d5_hot_path_unwrap.rs",
+        "d6_hot_path_alloc.rs",
     ] {
         let out = run_cli(&[fixture(file).to_str().expect("utf-8 path")]);
         assert_eq!(
@@ -136,7 +150,7 @@ fn cli_exits_zero_on_allowed_fixture_and_two_on_bad_usage() {
 }
 
 #[test]
-fn cli_rules_listing_names_all_five() {
+fn cli_rules_listing_names_all_six() {
     let out = run_cli(&["--rules"]);
     assert_eq!(out.status.code(), Some(0));
     let text = String::from_utf8_lossy(&out.stdout);
@@ -146,6 +160,7 @@ fn cli_rules_listing_names_all_five() {
         "unordered-collection",
         "float-ord",
         "hot-path-unwrap",
+        "hot-path-alloc",
     ] {
         assert!(text.contains(slug), "--rules output missing {slug}");
     }

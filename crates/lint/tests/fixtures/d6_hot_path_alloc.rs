@@ -1,0 +1,27 @@
+//! Fixture: MUST trigger D6 (hot-path-alloc) — allocation and sorting on
+//! the per-round path defeats the scratch-buffer/quickselect discipline.
+
+pub struct SyncNode {
+    samples: Vec<f64>,
+}
+
+impl SyncNode {
+    pub fn complete_round(&mut self) -> f64 {
+        let mut kept: Vec<f64> = self.samples.iter().copied().collect();
+        kept.sort_by(f64::total_cmp);
+        kept[kept.len() / 2]
+    }
+}
+
+pub trait ConvergenceFn {
+    fn adjustment_scratch(&self, estimates: &mut Vec<f64>) -> f64;
+}
+
+pub struct TrimmedMean;
+
+impl ConvergenceFn for TrimmedMean {
+    fn adjustment_scratch(&self, estimates: &mut Vec<f64>) -> f64 {
+        estimates.sort_unstable_by(f64::total_cmp);
+        estimates[estimates.len() / 2]
+    }
+}

@@ -22,7 +22,7 @@
 //! `sample_now`.
 
 use byzclock_core::{Input, NetworkModel, RoundSummary, SyncNode, TheoremBounds, TimerKind};
-use byzclock_driver::frame::{self, Envelope};
+use byzclock_driver::frame::{self, Envelope, WireCodec};
 use byzclock_driver::{drive, ClockSource, Driver, TimerControl, Transport};
 use byzclock_harness::table::{fmt_secs, Table};
 use byzclock_sim::{ProcId, SimDuration};
@@ -60,6 +60,9 @@ pub struct LiveConfig {
     pub deadline: Duration,
     /// Nonce-stream seed (per-node streams are derived from it).
     pub seed: u64,
+    /// Payload codec every node frames its datagrams with (both sides of
+    /// every link use the same config, so they always agree).
+    pub codec: WireCodec,
 }
 
 impl LiveConfig {
@@ -81,6 +84,7 @@ impl LiveConfig {
             min_rounds: 3,
             deadline: Duration::from_secs(30),
             seed: 42,
+            codec: WireCodec::Binary,
         }
     }
 }
@@ -264,6 +268,10 @@ struct NodeIo {
     alarms: Vec<Alarm>,
     next_seq: u64,
     events: mpsc::Sender<LiveEvent>,
+    codec: WireCodec,
+    /// Reused frame buffer: the steady-state send path encodes without
+    /// allocating.
+    wire_buf: Vec<u8>,
 }
 
 impl Transport for NodeIo {
@@ -271,10 +279,12 @@ impl Transport for NodeIo {
         if to.index() >= self.peers.len() || to == self.id {
             return;
         }
-        let body = frame::encode(&Envelope { from, msg });
+        self.wire_buf.clear();
+        self.codec
+            .encode_into(&Envelope { from, msg }, &mut self.wire_buf);
         // UDP send failures are indistinguishable from in-flight loss; the
         // protocol tolerates loss, so drop silently.
-        let _ = self.socket.send_to(&body, self.peers[to.index()]);
+        let _ = self.socket.send_to(&self.wire_buf, self.peers[to.index()]);
     }
 }
 
@@ -364,7 +374,7 @@ fn run_node(mut io: NodeIo, mut node: SyncNode, stop: Arc<AtomicBool>) {
         match io.socket.recv_from(&mut buf) {
             Ok((len, _)) => {
                 // garbage datagrams are dropped, like line noise on a link
-                if let Ok((envelope, _)) = frame::decode(&buf[..len]) {
+                if let Ok((envelope, _)) = io.codec.decode(&buf[..len]) {
                     let input = Input::Message {
                         from: envelope.from,
                         msg: envelope.msg,
@@ -437,6 +447,8 @@ pub fn run(config: LiveConfig) -> Result<LiveReport, LiveError> {
             alarms: Vec::new(),
             next_seq: 0,
             events: tx.clone(),
+            codec: config.codec,
+            wire_buf: Vec::with_capacity(frame::MAX_PAYLOAD + 4),
         };
         let node = SyncNode::new(ProcId(i as u32), derived.params).with_nonce_seed(
             config

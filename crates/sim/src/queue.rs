@@ -6,12 +6,16 @@
 //! whole simulations deterministic. Cancellation is *lazy*: a cancelled
 //! [`EventId`] is recorded in a tombstone set and the entry is dropped when
 //! it reaches the top of the heap, so `cancel` is O(1) amortized.
+//!
+//! Ids are handed out densely (0, 1, 2, …), so the tombstone and gone sets
+//! are [`IdFlags`] bitsets over the window `[gone_watermark, next_id)`
+//! rather than hash sets: membership tests on the pop hot path are a shift
+//! and a mask instead of a SipHash probe, and the windows stay small
+//! because the watermark compaction drops whole 64-bit words as it passes
+//! them.
 
 use std::cmp::Ordering;
-// Membership-only sets (contains/insert/remove, never iterated), so hash
-// ordering cannot leak into event order; O(1) lookups matter on the pop
-// hot path. lint:allow(unordered-collection)
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::time::RealTime;
 
@@ -55,6 +59,81 @@ impl<T> Ord for Entry<T> {
     }
 }
 
+/// A set of [`EventId`]s as a bitset over the dense id space.
+///
+/// Ids are monotone and the queue only ever stores ids in the window
+/// `[gone_watermark, next_id)`, so a word-aligned `base` plus a vector of
+/// 64-bit words covers the whole set with one bit per id. All bits below
+/// `base` are implicitly zero; [`IdFlags::advance_base`] slides the window
+/// forward as the watermark passes, dropping exhausted words.
+#[derive(Debug, Default)]
+struct IdFlags {
+    /// Id corresponding to bit 0 of `words[0]`; always a multiple of 64.
+    base: u64,
+    words: Vec<u64>,
+}
+
+impl IdFlags {
+    fn contains(&self, id: u64) -> bool {
+        if id < self.base {
+            return false;
+        }
+        let off = id - self.base;
+        self.words
+            .get((off / 64) as usize)
+            .is_some_and(|word| word & (1u64 << (off % 64)) != 0)
+    }
+
+    fn insert(&mut self, id: u64) {
+        debug_assert!(id >= self.base, "inserting below the compacted base");
+        let off = id - self.base;
+        let word = (off / 64) as usize;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1u64 << (off % 64);
+    }
+
+    /// Clears the bit for `id`; returns whether it was set.
+    fn remove(&mut self, id: u64) -> bool {
+        if id < self.base {
+            return false;
+        }
+        let off = id - self.base;
+        let Some(word) = self.words.get_mut((off / 64) as usize) else {
+            return false;
+        };
+        let mask = 1u64 << (off % 64);
+        let had = *word & mask != 0;
+        *word &= !mask;
+        had
+    }
+
+    /// Number of set bits (test observability only).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Slides the window start up to the largest multiple of 64 not above
+    /// `floor`, dropping the words that fall out. Every bit below `floor`
+    /// must already be zero (the queue's watermark invariant guarantees
+    /// it).
+    fn advance_base(&mut self, floor: u64) {
+        let new_base = floor & !63;
+        if new_base <= self.base {
+            return;
+        }
+        let drop = ((new_base - self.base) / 64) as usize;
+        if drop >= self.words.len() {
+            self.words.clear();
+        } else {
+            self.words.drain(..drop);
+        }
+        self.base = new_base;
+    }
+}
+
 /// Priority queue of timestamped events with lazy cancellation.
 ///
 /// ```
@@ -72,8 +151,9 @@ impl<T> Ord for Entry<T> {
 pub struct EventQueue<T> {
     heap: BinaryHeap<Entry<T>>,
     /// Ids cancelled while their entry is still in the heap (tombstones).
-    /// Membership-only, never iterated. lint:allow(unordered-collection)
-    cancelled: HashSet<EventId>,
+    /// Always ≥ `gone_watermark`: skimming removes the tombstone before
+    /// noting the id gone, so the watermark never passes a set bit.
+    cancelled: IdFlags,
     next_id: u64,
     /// Count of heap entries that are not tombstoned.
     live: usize,
@@ -81,8 +161,7 @@ pub struct EventQueue<T> {
     /// `cancelled` — tombstones are removed from `cancelled` when skimmed.
     gone_watermark: u64,
     /// Ids above the watermark that have left the heap.
-    /// Membership-only, never iterated. lint:allow(unordered-collection)
-    gone_above: HashSet<EventId>,
+    gone_above: IdFlags,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -96,11 +175,11 @@ impl<T> EventQueue<T> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(), // lint:allow(unordered-collection)
+            cancelled: IdFlags::default(),
             next_id: 0,
             live: 0,
             gone_watermark: 0,
-            gone_above: HashSet::new(), // lint:allow(unordered-collection)
+            gone_above: IdFlags::default(),
         }
     }
 
@@ -132,17 +211,17 @@ impl<T> EventQueue<T> {
     /// already cancelled); `false` otherwise. Cancelling a popped or unknown
     /// id is a harmless no-op.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_id || self.cancelled.contains(&id) || self.is_gone(id) {
+        if id.0 >= self.next_id || self.cancelled.contains(id.0) || self.is_gone(id) {
             return false;
         }
-        self.cancelled.insert(id);
+        self.cancelled.insert(id.0);
         self.live -= 1;
         true
     }
 
     /// True iff the entry for `id` has left the heap (popped or skimmed).
     fn is_gone(&self, id: EventId) -> bool {
-        id.0 < self.gone_watermark || self.gone_above.contains(&id)
+        id.0 < self.gone_watermark || self.gone_above.contains(id.0)
     }
 
     /// Number of live (non-cancelled, not yet popped) events.
@@ -173,9 +252,9 @@ impl<T> EventQueue<T> {
     /// Drops cancelled entries sitting at the heap top.
     fn skim(&mut self) {
         while let Some(top) = self.heap.peek() {
-            if self.cancelled.contains(&top.id) {
+            if self.cancelled.contains(top.id.0) {
                 let entry = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&entry.id);
+                self.cancelled.remove(entry.id.0);
                 self.note_gone(entry.id);
             } else {
                 break;
@@ -184,15 +263,18 @@ impl<T> EventQueue<T> {
     }
 
     /// Records that `id` has left the heap, keeping the gone-set compact by
-    /// advancing the contiguous watermark where possible.
+    /// advancing the contiguous watermark where possible (and sliding both
+    /// bitset windows forward behind it).
     fn note_gone(&mut self, id: EventId) {
         if id.0 == self.gone_watermark {
             self.gone_watermark += 1;
-            while self.gone_above.remove(&EventId(self.gone_watermark)) {
+            while self.gone_above.remove(self.gone_watermark) {
                 self.gone_watermark += 1;
             }
+            self.gone_above.advance_base(self.gone_watermark);
+            self.cancelled.advance_base(self.gone_watermark);
         } else if id.0 > self.gone_watermark {
-            self.gone_above.insert(id);
+            self.gone_above.insert(id.0);
         }
     }
 }
@@ -379,5 +461,68 @@ mod tests {
         fn gone_above_len(&self) -> usize {
             self.gone_above.len()
         }
+    }
+
+    #[test]
+    fn idflags_insert_contains_remove() {
+        let mut flags = IdFlags::default();
+        assert!(!flags.contains(0));
+        flags.insert(0);
+        flags.insert(63);
+        flags.insert(64);
+        flags.insert(1000);
+        assert!(flags.contains(0));
+        assert!(flags.contains(63));
+        assert!(flags.contains(64));
+        assert!(flags.contains(1000));
+        assert!(!flags.contains(65));
+        assert!(!flags.contains(100_000));
+        assert!(flags.remove(64));
+        assert!(!flags.remove(64));
+        assert!(!flags.contains(64));
+        assert_eq!(flags.len(), 3);
+    }
+
+    #[test]
+    fn idflags_base_advance_drops_words_and_ignores_below() {
+        let mut flags = IdFlags::default();
+        flags.insert(200);
+        flags.insert(300);
+        // floor 192 is word-aligned (3 * 64); ids < 192 are zero.
+        flags.advance_base(192);
+        assert!(flags.contains(200));
+        assert!(flags.contains(300));
+        assert!(!flags.contains(191));
+        assert!(!flags.remove(5)); // below base: implicitly absent
+                                   // advancing past everything clears the storage
+        flags.remove(200);
+        flags.remove(300);
+        flags.advance_base(10_000);
+        assert_eq!(flags.len(), 0);
+        assert!(!flags.contains(300));
+        flags.insert(10_050);
+        assert!(flags.contains(10_050));
+    }
+
+    #[test]
+    fn bitset_windows_stay_compact_under_churn() {
+        // Schedule/cancel/pop churn over many ids: the word vectors must
+        // track the live window, not the total id count.
+        let mut q = EventQueue::new();
+        for round in 0..1000u64 {
+            let keep = q.schedule(t(round as f64), round);
+            let dead = q.schedule(t(round as f64), round + 1_000_000);
+            assert!(q.cancel(dead));
+            let (_, v) = q.pop().unwrap();
+            assert_eq!(v, round);
+            assert!(!q.cancel(keep), "already popped");
+        }
+        assert!(q.is_empty());
+        assert!(
+            q.cancelled.words.len() <= 2 && q.gone_above.words.len() <= 2,
+            "windows grew: cancelled={} gone_above={}",
+            q.cancelled.words.len(),
+            q.gone_above.words.len()
+        );
     }
 }
